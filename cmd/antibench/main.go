@@ -1,0 +1,119 @@
+// Command antibench regenerates the paper's evaluation (§7): every
+// table and figure has an experiment id, and each run prints a
+// paper-style table built from the same metrics the paper reports.
+//
+// Usage:
+//
+//	antibench -exp fig9 -scale 1.0
+//	antibench -exp all -scale 0.2
+//
+// Experiments: overhead (§7.1), fig9 (§7.2), combiner (§7.3),
+// fig10 (§7.4), table1 (§7.4), table2 (§7.5), fig11 (§7.6),
+// wordcount (§7.7.1), pagerank (§7.7.2), fig12 (§7.7.3), all.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type renderer interface{ Render(w io.Writer) }
+
+type experiment struct {
+	name string
+	desc string
+	run  func(experiments.Config) (renderer, error)
+}
+
+func adapt[T renderer](f func(experiments.Config) (T, error)) func(experiments.Config) (renderer, error) {
+	return func(cfg experiments.Config) (renderer, error) { return f(cfg) }
+}
+
+var registry = []experiment{
+	{"overhead", "E1 §7.1 Anti-Combining overhead on Sort", adapt(experiments.Overhead)},
+	{"fig9", "E2 Fig.9 Query-Suggestion map output size", adapt(experiments.QSMapOutput)},
+	{"combiner", "E3 §7.3 Query-Suggestion with Combiner", adapt(experiments.QSCombiner)},
+	{"fig10", "E4 Fig.10 Query-Suggestion with Combiner+compression", adapt(experiments.QSCompression)},
+	{"table1", "E5 Table 1 codec cost breakdown", adapt(experiments.QSCodecTable)},
+	{"table2", "E6 Table 2 total cost breakdown", adapt(experiments.QSCostBreakdown)},
+	{"fig11", "E7 Fig.11 CPU threshold sweep", adapt(experiments.CPUThreshold)},
+	{"wordcount", "E8 §7.7.1 WordCount", adapt(experiments.WordCount)},
+	{"pagerank", "E9 §7.7.2 PageRank (5 iterations)", adapt(experiments.PageRank)},
+	{"fig12", "E10 Fig.12 1-Bucket-Theta join", adapt(experiments.ThetaJoin)},
+	{"scanshare", "X1 extension: multi-query scan sharing (§1 motivation)", adapt(experiments.ScanShare)},
+	{"window", "X2 extension: cross-call EagerSH window (§9 future work)", adapt(experiments.CrossCall)},
+	{"netsweep", "X3 extension: runtime benefit vs network speed", adapt(experiments.NetworkSweep)},
+	{"skew", "X4 extension: reducer load skew under LazySH (§6.2)", adapt(experiments.Skew)},
+}
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (see -list; 'all' runs everything)")
+		scale    = flag.Float64("scale", 0.5, "dataset scale factor (1.0 = full default sizes)")
+		seed     = flag.Uint64("seed", 2014, "dataset seed")
+		reducers = flag.Int("reducers", 8, "reduce tasks per job")
+		splits   = flag.Int("splits", 8, "map tasks per job")
+		par      = flag.Int("parallelism", 0, "concurrent tasks (0 = GOMAXPROCS); 1 gives the most stable CPU numbers")
+		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Scale:       *scale,
+		Seed:        *seed,
+		Reducers:    *reducers,
+		Splits:      *splits,
+		Parallelism: *par,
+	}
+
+	selected := registry[:0:0]
+	for _, e := range registry {
+		if *exp == "all" || *exp == e.name {
+			selected = append(selected, e)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "antibench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	jsonOut := map[string]any{}
+	for _, e := range selected {
+		if !*asJSON {
+			fmt.Printf("=== %s: %s (scale %.2f) ===\n", e.name, e.desc, *scale)
+		}
+		start := time.Now()
+		r, err := e.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "antibench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			jsonOut[e.name] = r
+			continue
+		}
+		r.Render(os.Stdout)
+		fmt.Printf("  [completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "antibench: encoding JSON: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package repro_test
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+// wordCountJob builds a tiny word-count job against the public API.
+func wordCountJob() *repro.Job {
+	sum := repro.NewReduceFunc(func(key []byte, values repro.ValueIter, out repro.Emitter) error {
+		total := 0
+		for {
+			v, ok := values.Next()
+			if !ok {
+				break
+			}
+			n, err := strconv.Atoi(string(v))
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		return out.Emit(key, []byte(strconv.Itoa(total)))
+	})
+	return &repro.Job{
+		NewMapper: repro.NewMapFunc(func(key, value []byte, out repro.Emitter) error {
+			for _, w := range strings.Fields(string(value)) {
+				if err := out.Emit([]byte(w), []byte("1")); err != nil {
+					return err
+				}
+			}
+			return nil
+		}),
+		NewReducer:     sum,
+		NumReduceTasks: 2,
+		Deterministic:  true,
+	}
+}
+
+func printSorted(res *repro.Result) {
+	var rows []string
+	for _, r := range res.SortedOutput() {
+		rows = append(rows, fmt.Sprintf("%s=%s", r.Key, r.Value))
+	}
+	sort.Strings(rows)
+	fmt.Println(strings.Join(rows, " "))
+}
+
+// Example runs a plain MapReduce job.
+func Example() {
+	recs := []repro.Record{
+		{Value: []byte("to be or not to be")},
+	}
+	res, err := repro.Run(wordCountJob(), repro.SplitRecords(recs, 1))
+	if err != nil {
+		panic(err)
+	}
+	printSorted(res)
+	// Output: be=2 not=1 or=1 to=2
+}
+
+// ExampleAntiCombine enables Anti-Combining on an existing job with one
+// call — the paper's syntactic program transformation — and shows that
+// the result is unchanged while the shipped map output shrinks.
+func ExampleAntiCombine() {
+	recs := []repro.Record{
+		{Value: []byte("to be or not to be")},
+		{Value: []byte("that is the question")},
+	}
+	original, err := repro.Run(wordCountJob(), repro.SplitRecords(recs, 1))
+	if err != nil {
+		panic(err)
+	}
+	anti, err := repro.Run(
+		repro.AntiCombine(wordCountJob(), repro.AdaptiveInf()),
+		repro.SplitRecords(recs, 1))
+	if err != nil {
+		panic(err)
+	}
+	printSorted(anti)
+	fmt.Println("fewer bytes shipped:", anti.Stats.MapOutputBytes < original.Stats.MapOutputBytes)
+	// Output:
+	// be=2 is=1 not=1 or=1 question=1 that=1 the=1 to=2
+	// fewer bytes shipped: true
+}
+
+// ExampleAntiCombine_strategies shows the three strategy presets.
+func ExampleAntiCombine_strategies() {
+	for _, opts := range []repro.AntiOptions{
+		repro.Adaptive0(),     // EagerSH only (T = 0)
+		repro.AdaptiveAlpha(), // adaptive with the paper's 400 µs threshold
+		repro.AdaptiveInf(),   // unrestricted adaptive
+	} {
+		fmt.Println(opts.Strategy, opts.T)
+	}
+	// Output:
+	// eager 0s
+	// adaptive 400µs
+	// adaptive 0s
+}

@@ -1,0 +1,109 @@
+package anticombine
+
+import (
+	"testing"
+
+	"repro/internal/mr"
+)
+
+func TestUniformChoiceEquivalence(t *testing.T) {
+	// The ablation mode must still compute the right answer.
+	job, splits := prefixJob(nil, 4), queries(150)
+	original, err := mr.Run(job, splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := mr.Run(Wrap(prefixJob(nil, 4), Options{
+		Strategy:      Adaptive,
+		UniformChoice: true,
+	}), queries(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutput(t, original, wrapped)
+}
+
+func TestPerPartitionChoiceBeatsUniform(t *testing.T) {
+	// §6.1's argument: deciding per partition can only reduce bytes
+	// compared to one decision per Map call, and on mixed workloads it
+	// strictly does. The fanout job mixes shared-value and unique-value
+	// emissions across partitions, so some partitions want eager and
+	// others lazy within the same call.
+	run := func(uniform bool) int64 {
+		job := fanoutJob()
+		res, err := mr.Run(Wrap(job, Options{Strategy: Adaptive, UniformChoice: uniform}),
+			queries(300))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.MapOutputBytes
+	}
+	perPartition := run(false)
+	uniform := run(true)
+	if perPartition > uniform {
+		t.Errorf("per-partition bytes (%d) exceed uniform (%d): optimality violated",
+			perPartition, uniform)
+	}
+	if perPartition == uniform {
+		t.Logf("per-partition == uniform (%d bytes); workload offered no mixed calls", uniform)
+	}
+}
+
+func BenchmarkAblationPerPartition(b *testing.B) {
+	benchChoice(b, false)
+}
+
+func BenchmarkAblationUniformChoice(b *testing.B) {
+	benchChoice(b, true)
+}
+
+func benchChoice(b *testing.B, uniform bool) {
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		job := fanoutJob()
+		res, err := mr.Run(Wrap(job, Options{Strategy: Adaptive, UniformChoice: uniform}),
+			queries(300))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = res.Stats.MapOutputBytes
+	}
+	b.ReportMetric(float64(bytes), "mapout-bytes")
+}
+
+func BenchmarkEagerEncode(b *testing.B) {
+	keys := [][]byte{[]byte("man"), []byte("mang"), []byte("mango")}
+	value := []byte("watch how i met your mother online")
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEagerValue(buf[:0], keys, value)
+	}
+	_ = buf
+}
+
+func BenchmarkDecodeEager(b *testing.B) {
+	keys := [][]byte{[]byte("man"), []byte("mang"), []byte("mango")}
+	buf := AppendEagerValue(nil, keys, []byte("watch how i met your mother online"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeValue(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSharedAddPop(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := newTestShared(1 << 20)
+		for j := 0; j < 100; j++ {
+			s.Add([]byte{byte(j)}, []byte("value"))
+		}
+		for !s.Empty() {
+			if _, _, err := s.PopMinKeyValues(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package anticombine
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/mr"
+)
+
+// FuzzDecodeValue drives the wire decoder with arbitrary bytes: it must
+// never panic, and whatever decodes must re-encode to the same bytes
+// (decode∘encode is the identity on valid inputs).
+func FuzzDecodeValue(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendPlainValue(nil, []byte("value")))
+	f.Add(AppendEagerValue(nil, [][]byte{[]byte("k1"), []byte("k2")}, []byte("v")))
+	f.Add(AppendLazyValue(nil, []byte("ik"), []byte("iv")))
+	f.Add([]byte{EncEager, 0xff, 0xff, 0xff})
+	f.Add([]byte{EncLazy, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeValue(data)
+		if err != nil {
+			return
+		}
+		var re []byte
+		switch dec.Enc {
+		case EncPlain:
+			re = AppendPlainValue(nil, dec.Value)
+		case EncEager:
+			re = AppendEagerValue(nil, dec.OtherKeys, dec.Value)
+		case EncLazy:
+			re = AppendLazyValue(nil, dec.InputKey, dec.InputValue)
+		default:
+			t.Fatalf("impossible flag %d", dec.Enc)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode mismatch: %x -> %x", data, re)
+		}
+	})
+}
+
+// TestReducerRejectsUnencodedStream wires the AntiReducer behind a
+// mapper that was NOT transformed — the reduce phase then sees raw
+// records instead of encoded ones and must fail with a decoding error
+// rather than panic or fabricate output. (The paper's transformation is
+// all-or-nothing; this guards against half-wired configurations.)
+func TestReducerRejectsUnencodedStream(t *testing.T) {
+	base := prefixJob(nil, 2)
+	wrapped := Wrap(prefixJob(nil, 2), AdaptiveInf())
+	// Sabotage: original mapper, anti reducer.
+	mismatched := *wrapped
+	mismatched.NewMapper = base.NewMapper
+	_, err := mr.Run(&mismatched, queries(20))
+	if err == nil {
+		t.Fatal("mismatched pipeline should fail")
+	}
+	if !errors.Is(err, ErrBadEncoding) {
+		// Raw bytes may coincidentally parse as a valid encoding and
+		// fail later; any error is acceptable, silent success is not.
+		t.Logf("failed with non-encoding error (acceptable): %v", err)
+	}
+}

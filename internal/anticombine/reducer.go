@@ -1,0 +1,219 @@
+package anticombine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/mr"
+)
+
+// instanceSeq disambiguates Shared spill-file prefixes across the many
+// reducer/combiner instances a job creates.
+var instanceSeq atomic.Int64
+
+// antiReducer is the paper's AntiReducer (Figure 8). It also serves as
+// the transformed Combiner (§6.1: "a Combiner is defined as a reducer
+// class, hence we apply the same syntactic transformation"): in combiner
+// mode the inner reducer is the original combiner and every emitted
+// value is re-encoded as a plain record so downstream decoding still
+// works. Because the engine feeds both reducers and combiners their key
+// groups in ascending key order and calls Cleanup at the end, the
+// drain-Shared discipline keeps output keys ascending in both modes.
+type antiReducer struct {
+	inner       mr.Reducer
+	newMapper   func() mr.Mapper
+	newCombiner func() mr.Reducer
+	opts        Options
+	combineMode bool
+
+	info    *mr.TaskInfo
+	oMapper mr.Mapper
+	shared  *Shared
+	out     mr.Emitter // wrapped output (plain-encodes in combiner mode)
+	scratch []byte
+
+	nReexec int64 // batched CounterMapReexec, flushed at Cleanup
+}
+
+// Setup implements mr.Reducer.
+func (r *antiReducer) Setup(info *mr.TaskInfo, out mr.Emitter) error {
+	r.info = info
+
+	var sharedCombiner mr.Reducer
+	if r.newCombiner != nil && !r.opts.DisableSharedCombine {
+		sharedCombiner = r.newCombiner()
+		if err := sharedCombiner.Setup(info, discardEmitter{}); err != nil {
+			return err
+		}
+	}
+	r.shared = NewShared(SharedConfig{
+		KeyCompare:    info.KeyCompare,
+		GroupCompare:  info.GroupCompare,
+		MemLimitBytes: r.opts.SharedMemLimitBytes,
+		MergeFactor:   r.opts.SharedMergeFactor,
+		FS:            info.FS,
+		Prefix: fmt.Sprintf("%s/anti/t%04d-p%04d-i%d",
+			info.JobName, info.TaskID, info.Partition, instanceSeq.Add(1)),
+		Combiner: sharedCombiner,
+		Counters: info.Counters,
+	})
+
+	// The original Map is needed on this side to decode LazySH records.
+	r.oMapper = r.newMapper()
+	if err := r.oMapper.Setup(info, discardEmitter{}); err != nil {
+		return err
+	}
+	return r.inner.Setup(info, r.wrapOut(out))
+}
+
+// wrapOut re-encodes emitted values as plain records in combiner mode so
+// the reduce phase can still decode the stream.
+func (r *antiReducer) wrapOut(out mr.Emitter) mr.Emitter {
+	if !r.combineMode {
+		return out
+	}
+	return mr.EmitterFunc(func(k, v []byte) error {
+		r.scratch = AppendPlainValue(r.scratch[:0], v)
+		return out.Emit(k, r.scratch)
+	})
+}
+
+// Reduce implements mr.Reducer, realizing Algorithms 2 and 4: drain
+// Shared below the current key, decode this key's records into Shared,
+// then run the original Reduce on the key's union of values.
+func (r *antiReducer) Reduce(key []byte, values mr.ValueIter, out mr.Emitter) error {
+	wrapped := r.wrapOut(out)
+	if err := r.drainBelow(key, wrapped); err != nil {
+		return err
+	}
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		if err := r.decodeInto(key, v); err != nil {
+			return err
+		}
+	}
+	// Everything this Reduce call owes the original program now sits in
+	// Shared under the current key (decoded keys are all >= key, because
+	// encoding chose the minimal key as representative).
+	if mk, ok := r.shared.PeekMinKey(); ok && r.info.GroupCompare(mk, key) == 0 {
+		gk, vals, err := r.shared.PopMinKeyValues()
+		if err != nil {
+			return err
+		}
+		return r.inner.Reduce(gk, sliceIter(vals), wrapped)
+	}
+	return nil
+}
+
+// decodeInto decodes one encoded value component into Shared.
+func (r *antiReducer) decodeInto(key, raw []byte) error {
+	dec, err := DecodeValue(raw)
+	if err != nil {
+		return err
+	}
+	switch dec.Enc {
+	case EncPlain:
+		return r.shared.Add(key, dec.Value)
+	case EncEager:
+		if err := r.shared.Add(key, dec.Value); err != nil {
+			return err
+		}
+		for _, ok := range dec.OtherKeys {
+			if err := r.shared.Add(ok, dec.Value); err != nil {
+				return err
+			}
+		}
+		return nil
+	case EncLazy:
+		return r.reexecuteMap(dec.InputKey, dec.InputValue)
+	}
+	return fmt.Errorf("%w: flag %d", ErrBadEncoding, dec.Enc)
+}
+
+// reexecuteMap regenerates a LazySH record's Map output on this reducer,
+// keeping only the pairs the Partitioner assigns here (Algorithm 4,
+// lines 6-10).
+func (r *antiReducer) reexecuteMap(inputKey, inputValue []byte) error {
+	r.nReexec++
+	var addErr error
+	err := r.oMapper.Map(inputKey, inputValue, mr.EmitterFunc(func(k, v []byte) error {
+		if r.info.Partitioner.Partition(k, r.info.NumPartitions) != r.info.Partition {
+			return nil
+		}
+		if err := r.shared.Add(k, v); err != nil {
+			addErr = err
+			return err
+		}
+		return nil
+	}))
+	if addErr != nil {
+		return addErr
+	}
+	return err
+}
+
+// drainBelow runs the original Reduce for every Shared key group below
+// key (the repeat-until loop of Algorithms 2 and 4).
+func (r *antiReducer) drainBelow(key []byte, wrapped mr.Emitter) error {
+	for {
+		altKey, ok := r.shared.PeekMinKey()
+		if !ok || r.info.GroupCompare(altKey, key) >= 0 {
+			return nil
+		}
+		gk, vals, err := r.shared.PopMinKeyValues()
+		if err != nil {
+			return err
+		}
+		if err := r.inner.Reduce(gk, sliceIter(vals), wrapped); err != nil {
+			return err
+		}
+	}
+}
+
+// Cleanup implements mr.Reducer: the remaining Shared keys — those never
+// seen as representative keys in the regular input — get their Reduce
+// calls here (§3.2's clean-up drain), then the wrapped functions clean up.
+func (r *antiReducer) Cleanup(out mr.Emitter) error {
+	wrapped := r.wrapOut(out)
+	for !r.shared.Empty() {
+		gk, vals, err := r.shared.PopMinKeyValues()
+		if err != nil {
+			return err
+		}
+		if err := r.inner.Reduce(gk, sliceIter(vals), wrapped); err != nil {
+			return err
+		}
+	}
+	if err := r.shared.Close(); err != nil {
+		return err
+	}
+	if err := r.oMapper.Cleanup(discardEmitter{}); err != nil {
+		return err
+	}
+	r.info.Counters.AddExtra(CounterMapReexec, r.nReexec)
+	r.nReexec = 0
+	return r.inner.Cleanup(wrapped)
+}
+
+// sliceIter adapts a value slice to mr.ValueIter.
+func sliceIter(vals [][]byte) mr.ValueIter {
+	i := 0
+	return valueIterFunc(func() ([]byte, bool) {
+		if i >= len(vals) {
+			return nil, false
+		}
+		v := vals[i]
+		i++
+		return v, true
+	})
+}
+
+// discardEmitter swallows emissions from wrapped Setup/Cleanup hooks
+// that have no legal output channel (e.g. the reducer-side Map object).
+type discardEmitter struct{}
+
+// Emit implements mr.Emitter.
+func (discardEmitter) Emit(_, _ []byte) error { return nil }

@@ -1,0 +1,75 @@
+package anticombine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mr"
+)
+
+// setupEmitMapper emits records during Setup and Cleanup (the in-mapper
+// combining pattern); those emissions must be partitioned correctly
+// before eager grouping, or same-value records bound for different
+// reducers would merge into one encoded record.
+type setupEmitMapper struct{}
+
+func (setupEmitMapper) Setup(_ *mr.TaskInfo, out mr.Emitter) error {
+	for i := 0; i < 20; i++ {
+		// Distinct keys, identical value: prime eager-grouping bait.
+		if err := out.Emit([]byte(fmt.Sprintf("setup%02d", i)), []byte("shared")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (setupEmitMapper) Map(key, value []byte, out mr.Emitter) error {
+	if err := out.Emit(value, value); err != nil {
+		return err
+	}
+	// Also hit the Setup/Cleanup keys from the Map path, so a record
+	// mis-partitioned during Setup produces a duplicate reduce call for
+	// the same key on another reducer.
+	if err := out.Emit([]byte("setup07"), []byte("frommap")); err != nil {
+		return err
+	}
+	return out.Emit([]byte("cleanup11"), []byte("frommap"))
+}
+
+func (setupEmitMapper) Cleanup(out mr.Emitter) error {
+	for i := 0; i < 20; i++ {
+		if err := out.Emit([]byte(fmt.Sprintf("cleanup%02d", i)), []byte("shared")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestSetupCleanupEmissionsPartitionedCorrectly(t *testing.T) {
+	mk := func() *mr.Job {
+		return &mr.Job{
+			NewMapper: func() mr.Mapper { return setupEmitMapper{} },
+			NewReducer: mr.NewReduceFunc(func(key []byte, values mr.ValueIter, out mr.Emitter) error {
+				n := 0
+				for {
+					if _, ok := values.Next(); !ok {
+						break
+					}
+					n++
+				}
+				return out.Emit(key, []byte(fmt.Sprintf("%d", n)))
+			}),
+			NumReduceTasks: 5,
+			Deterministic:  true,
+		}
+	}
+	original, err := mr.Run(mk(), queries(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := mr.Run(Wrap(mk(), AdaptiveInf()), queries(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutput(t, original, wrapped)
+}

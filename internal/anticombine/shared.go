@@ -1,0 +1,450 @@
+package anticombine
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bytesx"
+	"repro/internal/iokit"
+	"repro/internal/mr"
+)
+
+// combineBatch is how many values accumulate per key before the
+// combine-on-insert path folds them into one record. Combining in
+// batches keeps Shared's memory within a small constant factor of the
+// one-record-per-key ideal (§5) while amortizing combiner invocations.
+const combineBatch = 16
+
+// Shared is the reduce-task-level structure of §5 that carries decoded
+// key/value pairs between Reduce calls. It keeps a min-heap over
+// distinct keys plus a hash table from key to values; when the memory
+// budget is exceeded, the content is written to a spill file in sorted
+// key order (mirroring the map phase's sort-and-spill), and spill files
+// are merged when they exceed the merge threshold. Reads are strictly
+// in ascending key order — PeekMinKey / PopMinKeyValues — so spilled
+// runs are consumed by buffered sequential reads, never random access.
+//
+// With a combiner attached, values are combined on insert so each key
+// keeps (nearly) a single record ("Using Combine in the Reduce Phase",
+// §5), which in the paper's Table 2 keeps Shared entirely in memory.
+type Shared struct {
+	cmp      bytesx.Compare
+	groupCmp bytesx.Compare
+
+	keys    entryHeap
+	entries map[string]*sharedEntry
+	mem     int
+
+	memLimit    int
+	mergeFactor int
+	fs          iokit.FS
+	prefix      string
+	spillSeq    int
+	runs        []*sharedRun
+	counters    *mr.Counters
+
+	combiner mr.Reducer
+	spills   int64
+}
+
+// sharedEntry owns one key's canonical bytes and values. combinedLen
+// remembers the value count the last combine produced, so keys whose
+// values the combiner cannot shrink (e.g. distinct-query lists) are
+// recombined only after the list doubles — amortized linear instead of
+// quadratic.
+type sharedEntry struct {
+	key         []byte
+	values      [][]byte
+	combinedLen int
+}
+
+// SharedConfig configures a Shared instance.
+type SharedConfig struct {
+	// KeyCompare orders keys; required.
+	KeyCompare bytesx.Compare
+	// GroupCompare decides key equality for PopMinKeyValues; defaults
+	// to KeyCompare.
+	GroupCompare bytesx.Compare
+	// MemLimitBytes caps in-memory key+value bytes before spilling.
+	// Defaults to 1 MiB.
+	MemLimitBytes int
+	// MergeFactor caps spill runs before they are merged. Defaults to 10.
+	MergeFactor int
+	// FS receives spill files; required if spilling can occur.
+	FS iokit.FS
+	// Prefix names spill files.
+	Prefix string
+	// Combiner, if set, combines values per key on insert (in batches).
+	Combiner mr.Reducer
+	// Counters, if set, receives the "anti.sharedSpills" counter.
+	Counters *mr.Counters
+}
+
+// NewShared builds an empty Shared.
+func NewShared(cfg SharedConfig) *Shared {
+	if cfg.GroupCompare == nil {
+		cfg.GroupCompare = cfg.KeyCompare
+	}
+	if cfg.MemLimitBytes <= 0 {
+		cfg.MemLimitBytes = 1 << 20
+	}
+	if cfg.MergeFactor < 2 {
+		cfg.MergeFactor = 10
+	}
+	return &Shared{
+		cmp:         cfg.KeyCompare,
+		groupCmp:    cfg.GroupCompare,
+		keys:        entryHeap{cmp: cfg.KeyCompare},
+		entries:     make(map[string]*sharedEntry),
+		memLimit:    cfg.MemLimitBytes,
+		mergeFactor: cfg.MergeFactor,
+		fs:          cfg.FS,
+		prefix:      cfg.Prefix,
+		counters:    cfg.Counters,
+		combiner:    cfg.Combiner,
+	}
+}
+
+// Add inserts one decoded key/value pair. Both slices are copied.
+func (s *Shared) Add(key, value []byte) error {
+	e, ok := s.entries[string(key)]
+	if !ok {
+		e = &sharedEntry{key: bytesx.Clone(key)}
+		s.entries[string(e.key)] = e
+		heap.Push(&s.keys, e)
+		s.mem += len(e.key)
+	}
+	e.values = append(e.values, bytesx.Clone(value))
+	s.mem += len(value)
+	if s.combiner != nil && len(e.values) >= combineBatch && len(e.values) >= 2*e.combinedLen {
+		if err := s.combineEntry(e); err != nil {
+			return err
+		}
+	}
+	if s.mem > s.memLimit {
+		return s.spill()
+	}
+	return nil
+}
+
+// combineEntry folds an entry's values into the combiner's output,
+// keeping (usually) a single record per key.
+func (s *Shared) combineEntry(e *sharedEntry) error {
+	for _, v := range e.values {
+		s.mem -= len(v)
+	}
+	old := e.values
+	i := 0
+	vi := valueIterFunc(func() ([]byte, bool) {
+		if i >= len(old) {
+			return nil, false
+		}
+		v := old[i]
+		i++
+		return v, true
+	})
+	var combined [][]byte
+	emit := mr.EmitterFunc(func(_, v []byte) error {
+		combined = append(combined, bytesx.Clone(v))
+		return nil
+	})
+	if err := s.combiner.Reduce(e.key, vi, emit); err != nil {
+		return err
+	}
+	if len(combined) == 0 {
+		return errors.New("anticombine: combiner emitted no output for Shared insert")
+	}
+	e.values = combined
+	e.combinedLen = len(combined)
+	for _, v := range combined {
+		s.mem += len(v)
+	}
+	return nil
+}
+
+type valueIterFunc func() ([]byte, bool)
+
+func (f valueIterFunc) Next() ([]byte, bool) { return f() }
+
+// Empty reports whether no keys remain, in memory or spilled.
+func (s *Shared) Empty() bool { return s.keys.Len() == 0 && len(s.runs) == 0 }
+
+// peekMinInternal returns the smallest key present without cloning. The
+// slice is only valid until the next mutation.
+func (s *Shared) peekMinInternal() ([]byte, bool) {
+	var best []byte
+	if s.keys.Len() > 0 {
+		best = s.keys.entries[0].key
+	}
+	for _, r := range s.runs {
+		if r.done {
+			continue
+		}
+		if best == nil || s.cmp(r.headKey, best) < 0 {
+			best = r.headKey
+		}
+	}
+	return best, best != nil
+}
+
+// PeekMinKey returns (a copy of) the smallest key present.
+func (s *Shared) PeekMinKey() ([]byte, bool) {
+	best, ok := s.peekMinInternal()
+	if !ok {
+		return nil, false
+	}
+	return bytesx.Clone(best), true
+}
+
+// PopMinKeyValues removes the smallest key group (all keys equal under
+// the grouping comparator) and returns its key and values. Values are
+// gathered from memory and spill runs in ascending full-key order —
+// "since records are removed from Shared in key order, the values
+// passed to o_reducer.reduce are in key order" (§6.1) — which is what
+// secondary-sort programs rely on.
+func (s *Shared) PopMinKeyValues() (key []byte, values [][]byte, err error) {
+	key, ok := s.PeekMinKey()
+	if !ok {
+		return nil, nil, errors.New("anticombine: PopMinKeyValues on empty Shared")
+	}
+	scratch := make([]byte, 0, len(key))
+	for {
+		cur, ok := s.peekMinInternal()
+		if !ok || s.groupCmp(cur, key) != 0 {
+			break
+		}
+		// cur aliases mutable state; keep a private copy for the
+		// equality scans below.
+		scratch = append(scratch[:0], cur...)
+
+		// Drain the in-memory entry for exactly this key first, then
+		// matching spill-run heads (duplicate-key order between the two
+		// sources is unspecified, as in Hadoop).
+		for s.keys.Len() > 0 && s.cmp(s.keys.entries[0].key, scratch) == 0 {
+			e := heap.Pop(&s.keys).(*sharedEntry)
+			delete(s.entries, string(e.key))
+			s.mem -= len(e.key)
+			for _, v := range e.values {
+				s.mem -= len(v)
+			}
+			values = append(values, e.values...)
+		}
+		// The head buffers are reused by advance, so values are cloned.
+		for _, r := range s.runs {
+			for !r.done && s.cmp(r.headKey, scratch) == 0 {
+				values = append(values, bytesx.Clone(r.headVal))
+				if err := r.advance(); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		s.dropFinishedRuns()
+	}
+	return key, values, nil
+}
+
+func (s *Shared) dropFinishedRuns() {
+	live := s.runs[:0]
+	for _, r := range s.runs {
+		if r.done {
+			continue
+		}
+		live = append(live, r)
+	}
+	s.runs = live
+}
+
+// Spills reports how many times Shared spilled to disk.
+func (s *Shared) Spills() int { return int(s.spills) }
+
+// spill writes the in-memory content to a new sorted run, then merges
+// runs if they exceed the merge factor.
+func (s *Shared) spill() error {
+	if s.fs == nil {
+		return errors.New("anticombine: Shared memory limit exceeded and no spill FS configured")
+	}
+	name := fmt.Sprintf("%s/shared-spill%04d", s.prefix, s.spillSeq)
+	s.spillSeq++
+	s.spills++
+	if s.counters != nil {
+		s.counters.AddExtra(CounterSharedSpills, 1)
+	}
+	f, err := s.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	w := bytesx.NewWriter(f)
+	for s.keys.Len() > 0 {
+		e := heap.Pop(&s.keys).(*sharedEntry)
+		delete(s.entries, string(e.key))
+		for _, v := range e.values {
+			if err := w.WriteRecord(e.key, v); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	s.mem = 0
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	run, err := openSharedRun(s.fs, name)
+	if err != nil {
+		return err
+	}
+	if run != nil {
+		s.runs = append(s.runs, run)
+	}
+	if len(s.runs) > s.mergeFactor {
+		return s.mergeRuns()
+	}
+	return nil
+}
+
+// mergeRuns merges all current runs into a single sorted run, mirroring
+// the map phase's spill merge (§5).
+func (s *Shared) mergeRuns() error {
+	name := fmt.Sprintf("%s/shared-merge%04d", s.prefix, s.spillSeq)
+	s.spillSeq++
+	f, err := s.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	w := bytesx.NewWriter(f)
+	h := runHeap{cmp: s.cmp, runs: append([]*sharedRun(nil), s.runs...)}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		r := h.runs[0]
+		if err := w.WriteRecord(r.headKey, r.headVal); err != nil {
+			f.Close()
+			return err
+		}
+		if err := r.advance(); err != nil {
+			f.Close()
+			return err
+		}
+		if r.done {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	s.runs = nil
+	run, err := openSharedRun(s.fs, name)
+	if err != nil {
+		return err
+	}
+	if run != nil {
+		s.runs = append(s.runs, run)
+	}
+	return nil
+}
+
+// Close releases any open spill run readers.
+func (s *Shared) Close() error {
+	for _, r := range s.runs {
+		r.close()
+	}
+	s.runs = nil
+	return nil
+}
+
+// sharedRun is a buffered sequential cursor over one sorted spill file.
+type sharedRun struct {
+	r                *bytesx.Reader
+	closer           io.Closer
+	headKey, headVal []byte
+	done             bool
+}
+
+// openSharedRun opens a run and primes its head record. A run with no
+// records returns nil.
+func openSharedRun(fs iokit.FS, name string) (*sharedRun, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	run := &sharedRun{r: bytesx.NewReader(f), closer: f}
+	if err := run.advance(); err != nil {
+		return nil, err
+	}
+	if run.done {
+		return nil, nil
+	}
+	return run, nil
+}
+
+func (r *sharedRun) advance() error {
+	k, v, err := r.r.ReadRecord()
+	if errors.Is(err, io.EOF) {
+		r.done = true
+		return r.close()
+	}
+	if err != nil {
+		return err
+	}
+	r.headKey = append(r.headKey[:0], k...)
+	r.headVal = append(r.headVal[:0], v...)
+	return nil
+}
+
+func (r *sharedRun) close() error {
+	if r.closer == nil {
+		return nil
+	}
+	c := r.closer
+	r.closer = nil
+	return c.Close()
+}
+
+// entryHeap is a min-heap over distinct in-memory key entries. Holding
+// the entries themselves keeps comparisons allocation-free.
+type entryHeap struct {
+	entries []*sharedEntry
+	cmp     bytesx.Compare
+}
+
+func (h entryHeap) Len() int { return len(h.entries) }
+func (h entryHeap) Less(i, j int) bool {
+	return h.cmp(h.entries[i].key, h.entries[j].key) < 0
+}
+func (h entryHeap) Swap(i, j int)       { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *entryHeap) Push(x interface{}) { h.entries = append(h.entries, x.(*sharedEntry)) }
+func (h *entryHeap) Pop() interface{} {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	h.entries = old[:n-1]
+	return e
+}
+
+// runHeap orders spill runs by head key for merging.
+type runHeap struct {
+	runs []*sharedRun
+	cmp  bytesx.Compare
+}
+
+func (h runHeap) Len() int            { return len(h.runs) }
+func (h runHeap) Less(i, j int) bool  { return h.cmp(h.runs[i].headKey, h.runs[j].headKey) < 0 }
+func (h runHeap) Swap(i, j int)       { h.runs[i], h.runs[j] = h.runs[j], h.runs[i] }
+func (h *runHeap) Push(x interface{}) { h.runs = append(h.runs, x.(*sharedRun)) }
+func (h *runHeap) Pop() interface{} {
+	old := h.runs
+	n := len(old)
+	r := old[n-1]
+	h.runs = old[:n-1]
+	return r
+}

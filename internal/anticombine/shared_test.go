@@ -1,0 +1,272 @@
+package anticombine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+
+	"repro/internal/bytesx"
+	"repro/internal/iokit"
+	"repro/internal/mr"
+)
+
+func newTestShared(memLimit int) *Shared {
+	return NewShared(SharedConfig{
+		KeyCompare:    bytesx.Bytes,
+		MemLimitBytes: memLimit,
+		FS:            iokit.NewMemFS(),
+		Prefix:        "test",
+	})
+}
+
+func TestSharedOrderedDrain(t *testing.T) {
+	s := newTestShared(1 << 20)
+	keys := []string{"delta", "alpha", "charlie", "bravo", "alpha"}
+	for i, k := range keys {
+		if err := s.Add([]byte(k), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mk, ok := s.PeekMinKey(); !ok || string(mk) != "alpha" {
+		t.Fatalf("PeekMinKey = %q, %v", mk, ok)
+	}
+	var got []string
+	for !s.Empty() {
+		k, vals, err := s.PopMinKeyValues()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, fmt.Sprintf("%s:%d", k, len(vals)))
+	}
+	want := []string{"alpha:2", "bravo:1", "charlie:1", "delta:1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("drain[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if _, _, err := s.PopMinKeyValues(); err == nil {
+		t.Error("pop on empty should error")
+	}
+}
+
+func TestSharedSpillAndMerge(t *testing.T) {
+	// A tiny memory limit forces many spills; a tiny merge factor forces
+	// run merging. All values must still come back grouped and in order.
+	s := NewShared(SharedConfig{
+		KeyCompare:    bytesx.Bytes,
+		MemLimitBytes: 64,
+		MergeFactor:   2,
+		FS:            iokit.NewMemFS(),
+		Prefix:        "spilltest",
+	})
+	rng := rand.New(rand.NewSource(5))
+	want := map[string][]string{}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key%03d", rng.Intn(60))
+		v := fmt.Sprintf("value%05d", i)
+		want[k] = append(want[k], v)
+		if err := s.Add([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Spills() == 0 {
+		t.Fatal("expected spills")
+	}
+	var prev string
+	popped := 0
+	for !s.Empty() {
+		k, vals, err := s.PopMinKeyValues()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks := string(k)
+		if prev != "" && ks <= prev {
+			t.Fatalf("keys out of order: %q after %q", ks, prev)
+		}
+		prev = ks
+		popped++
+		gotVals := make([]string, len(vals))
+		for i, v := range vals {
+			gotVals[i] = string(v)
+		}
+		sort.Strings(gotVals)
+		wv := append([]string(nil), want[ks]...)
+		sort.Strings(wv)
+		if len(gotVals) != len(wv) {
+			t.Fatalf("key %s: %d values, want %d", ks, len(gotVals), len(wv))
+		}
+		for i := range wv {
+			if gotVals[i] != wv[i] {
+				t.Fatalf("key %s value mismatch", ks)
+			}
+		}
+		delete(want, ks)
+	}
+	if len(want) != 0 {
+		t.Errorf("%d keys never popped", len(want))
+	}
+}
+
+func TestSharedInterleavedAddPop(t *testing.T) {
+	// Keys in a spill run and later re-added in memory must merge on pop.
+	s := NewShared(SharedConfig{
+		KeyCompare:    bytesx.Bytes,
+		MemLimitBytes: 40,
+		FS:            iokit.NewMemFS(),
+		Prefix:        "interleave",
+	})
+	for i := 0; i < 10; i++ {
+		if err := s.Add([]byte("kk"), []byte(fmt.Sprintf("spillme%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Spills() == 0 {
+		t.Fatal("expected a spill")
+	}
+	if err := s.Add([]byte("kk"), []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	_, vals, err := s.PopMinKeyValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 11 {
+		t.Errorf("got %d values, want 11 (memory + spilled)", len(vals))
+	}
+}
+
+func TestSharedGroupCompare(t *testing.T) {
+	groupByFirstByte := func(a, b []byte) int {
+		return bytesx.Bytes(a[:1], b[:1])
+	}
+	s := NewShared(SharedConfig{
+		KeyCompare:   bytesx.Bytes,
+		GroupCompare: groupByFirstByte,
+		FS:           iokit.NewMemFS(),
+	})
+	for _, k := range []string{"a1", "a2", "b1", "a3"} {
+		if err := s.Add([]byte(k), []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k, vals, err := s.PopMinKeyValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(k) != "a1" || len(vals) != 3 {
+		t.Errorf("first group: key=%q n=%d, want a1/3", k, len(vals))
+	}
+	k2, vals2, err := s.PopMinKeyValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(k2) != "b1" || len(vals2) != 1 {
+		t.Errorf("second group: key=%q n=%d", k2, len(vals2))
+	}
+	if !s.Empty() {
+		t.Error("should be empty")
+	}
+}
+
+// sumCombiner adds decimal values, for combine-on-insert tests.
+type sumCombiner struct{ mr.ReducerBase }
+
+func (sumCombiner) Reduce(key []byte, values mr.ValueIter, out mr.Emitter) error {
+	total := 0
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		n, err := strconv.Atoi(string(v))
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	return out.Emit(key, []byte(strconv.Itoa(total)))
+}
+
+func TestSharedCombineOnInsert(t *testing.T) {
+	s := NewShared(SharedConfig{
+		KeyCompare:    bytesx.Bytes,
+		MemLimitBytes: 1 << 20,
+		FS:            iokit.NewMemFS(),
+		Combiner:      sumCombiner{},
+	})
+	for i := 1; i <= 100; i++ {
+		if err := s.Add([]byte("k"), []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, vals, err := s.PopMinKeyValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Combining is batched, so up to combineBatch-1 values may remain —
+	// but their sum must be exact and the count bounded.
+	if len(vals) >= combineBatch {
+		t.Errorf("%d values remain; combine-on-insert should bound this below %d",
+			len(vals), combineBatch)
+	}
+	total := 0
+	for _, v := range vals {
+		n, err := strconv.Atoi(string(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != 100 {
+		t.Errorf("combined sum = %d, want 100", total)
+	}
+	if s.Spills() != 0 {
+		t.Errorf("combine-on-insert should have kept Shared in memory, spilled %d times", s.Spills())
+	}
+}
+
+func TestSharedCombineKeepsMemorySmall(t *testing.T) {
+	// Without a combiner this workload spills; with one it must not —
+	// the Table 2 AdaptiveSH-CB effect.
+	plain := newTestShared(128)
+	for i := 0; i < 500; i++ {
+		plain.Add([]byte(fmt.Sprintf("k%d", i%4)), []byte("1"))
+	}
+	if plain.Spills() == 0 {
+		t.Fatal("plain Shared should spill under this load")
+	}
+	combined := NewShared(SharedConfig{
+		KeyCompare:    bytesx.Bytes,
+		MemLimitBytes: 128,
+		FS:            iokit.NewMemFS(),
+		Combiner:      sumCombiner{},
+	})
+	for i := 0; i < 500; i++ {
+		if err := combined.Add([]byte(fmt.Sprintf("k%d", i%4)), []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if combined.Spills() != 0 {
+		t.Errorf("combined Shared spilled %d times", combined.Spills())
+	}
+}
+
+func TestSharedSpillWithoutFS(t *testing.T) {
+	s := NewShared(SharedConfig{KeyCompare: bytesx.Bytes, MemLimitBytes: 8})
+	err := s.Add([]byte("key"), []byte("a long enough value to overflow"))
+	if err == nil {
+		t.Error("spill without FS should error")
+	}
+}
+
+func TestSharedPeekEmpty(t *testing.T) {
+	s := newTestShared(1 << 20)
+	if _, ok := s.PeekMinKey(); ok {
+		t.Error("peek on empty should report !ok")
+	}
+	if !s.Empty() {
+		t.Error("new Shared should be empty")
+	}
+}

@@ -1,0 +1,94 @@
+package anticombine
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/mr"
+	"repro/internal/workloads/wordcount"
+)
+
+func TestCrossCallWindowEquivalence(t *testing.T) {
+	// The windowed extension must still compute the right answer,
+	// including when windows straddle splits unevenly.
+	for _, window := range []int{2, 7, 1000} {
+		job, splits := prefixJob(nil, 4), queries(150)
+		original, err := mr.Run(job, splits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrapped, err := mr.Run(Wrap(prefixJob(nil, 4), Options{
+			Strategy:        Adaptive,
+			CrossCallWindow: window,
+		}), queries(150))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameOutput(t, original, wrapped)
+	}
+}
+
+func TestCrossCallWindowWithCombinerEquivalence(t *testing.T) {
+	job, splits := countJob(), queries(200)
+	original, err := mr.Run(job, splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := mr.Run(Wrap(countJob(), Options{
+		Strategy:        Adaptive,
+		CrossCallWindow: 16,
+		MapCombiner:     true,
+	}), queries(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutput(t, original, wrapped)
+}
+
+func TestCrossCallWindowSharesAcrossCalls(t *testing.T) {
+	// WordCount is the paper's motivating case for cross-call sharing:
+	// every record's value is "1", so a window of W lines collapses into
+	// one eager record per partition instead of W.
+	text := datagen.NewRandomText(datagen.RandomTextConfig{
+		Seed: 91, Lines: 400, WordsPerLine: 10, VocabWords: 5000,
+	})
+	run := func(window int) int64 {
+		job := wordcount.NewJob(4)
+		job.NewCombiner = nil // isolate the encoding effect
+		res, err := mr.Run(Wrap(job, Options{
+			Strategy:        EagerOnly,
+			CrossCallWindow: window,
+		}), wordcount.Splits(text, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.MapOutputRecords
+	}
+	perCall := run(0)
+	windowed := run(32)
+	if windowed*4 > perCall {
+		t.Errorf("window of 32 calls emitted %d records vs %d per-call; want >=4x fewer",
+			windowed, perCall)
+	}
+}
+
+func TestCrossCallWindowBytesNeverWorse(t *testing.T) {
+	// Windowed eager encoding can only merge more groups, never split
+	// them, so map output bytes must not grow.
+	job, _ := prefixJob(nil, 3), queries(100)
+	base, err := mr.Run(Wrap(job, Adaptive0()), queries(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := mr.Run(Wrap(prefixJob(nil, 3), Options{
+		Strategy:        EagerOnly,
+		CrossCallWindow: 64,
+	}), queries(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Stats.MapOutputBytes > base.Stats.MapOutputBytes {
+		t.Errorf("windowed bytes %d exceed per-call eager %d",
+			win.Stats.MapOutputBytes, base.Stats.MapOutputBytes)
+	}
+}

@@ -1,0 +1,54 @@
+package anticombine
+
+import "repro/internal/mr"
+
+// Wrap applies the Anti-Combining program transformation of §6.1 to a
+// job, treating its Mapper, Reducer, Combiner and Partitioner as black
+// boxes — the Go analogue of the paper's purely syntactic class rewrite.
+// The returned job runs the same computation; its mapper-to-reducer
+// stream carries adaptively encoded records instead.
+//
+// Following §6.2, LazySH is disabled unless the job declares
+// Deterministic, because re-executing a non-deterministic Map (or
+// Partitioner) on the reducer could change keys or routing.
+//
+// The original combiner is kept in the map phase only when
+// opts.MapCombiner (the paper's flag C) is set, in which case it is
+// wrapped by the same transformation; either way it is used to collapse
+// Shared in the reduce phase unless opts.DisableSharedCombine is set.
+func Wrap(job *mr.Job, opts Options) *mr.Job {
+	w := *job
+	w.Name = job.Name + "-anti-" + opts.Strategy.String()
+
+	lazyAllowed := job.Deterministic && opts.Strategy != EagerOnly
+
+	newMapper := job.NewMapper
+	newReducer := job.NewReducer
+	newCombiner := job.NewCombiner
+
+	w.NewMapper = func() mr.Mapper {
+		return &antiMapper{inner: newMapper(), opts: opts, lazyAllowed: lazyAllowed}
+	}
+	w.NewReducer = func() mr.Reducer {
+		return &antiReducer{
+			inner:       newReducer(),
+			newMapper:   newMapper,
+			newCombiner: newCombiner,
+			opts:        opts,
+		}
+	}
+	if newCombiner != nil && opts.MapCombiner {
+		w.NewCombiner = func() mr.Reducer {
+			return &antiReducer{
+				inner:       newCombiner(),
+				newMapper:   newMapper,
+				newCombiner: newCombiner,
+				opts:        opts,
+				combineMode: true,
+			}
+		}
+	} else {
+		w.NewCombiner = nil
+	}
+	return &w
+}

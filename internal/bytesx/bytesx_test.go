@@ -1,0 +1,194 @@
+package bytesx
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 - 1, 1 << 63, ^uint64(0)}
+	for _, v := range cases {
+		buf := AppendUvarint(nil, v)
+		if got := UvarintLen(v); got != len(buf) {
+			t.Errorf("UvarintLen(%d) = %d, encoded %d bytes", v, got, len(buf))
+		}
+		got, n, err := Uvarint(buf)
+		if err != nil || n != len(buf) || got != v {
+			t.Errorf("Uvarint(%d): got %d n=%d err=%v", v, got, n, err)
+		}
+	}
+}
+
+func TestUvarintCorrupt(t *testing.T) {
+	if _, _, err := Uvarint(nil); err == nil {
+		t.Error("Uvarint(nil) should fail")
+	}
+	if _, _, err := Uvarint([]byte{0x80}); err == nil {
+		t.Error("Uvarint(truncated) should fail")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	cases := []struct{ k, v []byte }{
+		{nil, nil},
+		{[]byte("k"), nil},
+		{nil, []byte("v")},
+		{[]byte("key"), []byte("value")},
+		{bytes.Repeat([]byte{0xff}, 1000), bytes.Repeat([]byte{0}, 5000)},
+	}
+	for _, c := range cases {
+		buf := AppendRecord(nil, c.k, c.v)
+		if got := RecordLen(c.k, c.v); got != len(buf) {
+			t.Errorf("RecordLen = %d, encoded %d", got, len(buf))
+		}
+		k, v, n, err := DecodeRecord(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("DecodeRecord: n=%d err=%v", n, err)
+		}
+		if !bytes.Equal(k, c.k) || !bytes.Equal(v, c.v) {
+			t.Errorf("round trip mismatch: %q/%q != %q/%q", k, v, c.k, c.v)
+		}
+	}
+}
+
+func TestRecordCorrupt(t *testing.T) {
+	buf := AppendRecord(nil, []byte("key"), []byte("value"))
+	for i := 0; i < len(buf)-1; i++ {
+		if _, _, _, err := DecodeRecord(buf[:i]); err == nil && i > 0 {
+			// Prefixes that happen to decode as a shorter valid record are
+			// acceptable only if they consume exactly i bytes.
+			_, _, n, _ := DecodeRecord(buf[:i])
+			if n != i {
+				t.Errorf("truncated record at %d decoded inconsistently", i)
+			}
+		}
+	}
+	if _, _, _, err := DecodeRecord([]byte{5, 'a'}); err == nil {
+		t.Error("short key should fail")
+	}
+}
+
+func TestRecordPropertyRoundTrip(t *testing.T) {
+	f := func(k, v []byte) bool {
+		buf := AppendRecord(nil, k, v)
+		gk, gv, n, err := DecodeRecord(buf)
+		return err == nil && n == len(buf) && bytes.Equal(gk, k) && bytes.Equal(gv, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUvarintPropertyRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		buf := AppendUvarint(nil, v)
+		got, n, err := Uvarint(buf)
+		return err == nil && n == len(buf) && n == UvarintLen(v) && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	type rec struct{ k, v []byte }
+	var recs []rec
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 1000; i++ {
+		k := make([]byte, rng.Intn(50))
+		v := make([]byte, rng.Intn(200))
+		rng.Read(k)
+		rng.Read(v)
+		recs = append(recs, rec{k, v})
+		if err := w.WriteRecord(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 1000 {
+		t.Errorf("Records() = %d", w.Records())
+	}
+	if w.Bytes() != int64(buf.Len()) {
+		t.Errorf("Bytes() = %d, buffer has %d", w.Bytes(), buf.Len())
+	}
+	r := NewReader(&buf)
+	for i, want := range recs {
+		k, v, err := r.ReadRecord()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(k, want.k) || !bytes.Equal(v, want.v) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, _, err := r.ReadRecord(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestStreamTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteRecord([]byte("hello"), []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	r := NewReader(bytes.NewReader(trunc))
+	err := func() error { _, _, err := r.ReadRecord(); return err }()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("expected ErrCorrupt, got %v", err)
+	}
+	// The underlying cause must stay matchable too.
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("underlying cause lost: %v", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	b := []byte("abc")
+	c := Clone(b)
+	b[0] = 'x'
+	if string(c) != "abc" {
+		t.Error("Clone should not alias")
+	}
+	if Clone(nil) == nil {
+		t.Error("Clone(nil) should be non-nil")
+	}
+}
+
+func TestBytesCompare(t *testing.T) {
+	if Bytes([]byte("a"), []byte("b")) >= 0 {
+		t.Error("a should sort before b")
+	}
+	if Bytes([]byte("ab"), []byte("a")) <= 0 {
+		t.Error("ab should sort after a")
+	}
+	if Bytes(nil, nil) != 0 {
+		t.Error("nil == nil")
+	}
+}
+
+func TestUvarintRejectsNonCanonical(t *testing.T) {
+	// 0x82 0x00 is an overlong encoding of 2; the framing layer must
+	// reject it so decode∘encode stays the identity.
+	if _, _, err := Uvarint([]byte{0x82, 0x00}); err == nil {
+		t.Error("overlong varint accepted")
+	}
+	if _, _, err := Uvarint([]byte{0x80, 0x00}); err == nil {
+		t.Error("overlong zero accepted")
+	}
+	if v, n, err := Uvarint([]byte{0x02}); err != nil || v != 2 || n != 1 {
+		t.Errorf("canonical decode broken: %d %d %v", v, n, err)
+	}
+}

@@ -1,0 +1,51 @@
+package codec
+
+// bitWriter packs MSB-first bit strings into a byte slice.
+type bitWriter struct {
+	buf   []byte
+	acc   uint64
+	nbits uint
+}
+
+// writeBits appends the low n bits of code, most significant bit first.
+func (w *bitWriter) writeBits(code uint32, n uint) {
+	w.acc = w.acc<<n | uint64(code)&((1<<n)-1)
+	w.nbits += n
+	for w.nbits >= 8 {
+		w.nbits -= 8
+		w.buf = append(w.buf, byte(w.acc>>w.nbits))
+	}
+}
+
+// finish pads the final partial byte with zero bits and returns the buffer.
+func (w *bitWriter) finish() []byte {
+	if w.nbits > 0 {
+		w.buf = append(w.buf, byte(w.acc<<(8-w.nbits)))
+		w.nbits = 0
+	}
+	return w.buf
+}
+
+// bitReader consumes MSB-first bit strings from a byte slice.
+type bitReader struct {
+	buf   []byte
+	pos   int
+	acc   uint64
+	nbits uint
+	err   bool
+}
+
+// readBit returns the next bit, flagging err on exhaustion.
+func (r *bitReader) readBit() uint32 {
+	if r.nbits == 0 {
+		if r.pos >= len(r.buf) {
+			r.err = true
+			return 0
+		}
+		r.acc = uint64(r.buf[r.pos])
+		r.pos++
+		r.nbits = 8
+	}
+	r.nbits--
+	return uint32(r.acc>>r.nbits) & 1
+}

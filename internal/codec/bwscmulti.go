@@ -1,0 +1,221 @@
+package codec
+
+import "fmt"
+
+// Multi-table Huffman coding, bzip2's "coding tables" refinement: the
+// RLE0 symbol stream is cut into groups of 50 symbols, 2-6 Huffman
+// tables are trained by a few rounds of assign-cheapest / refit (a
+// one-dimensional k-means), and each group records which table encodes
+// it. Skewed regions of the post-BWT stream get tables tuned to them,
+// which is most of bzip2's ratio edge over a single code.
+const (
+	bwscGroupSize = 50
+	// multi-table coding only pays for its headers beyond this many
+	// symbols.
+	bwscMultiMinSyms = 400
+	// unusedLen is the cost penalty for symbols a table has never seen,
+	// bzip2's "15 bits for unused" heuristic.
+	bwscUnusedLen = 15
+	// kMeansIters matches bzip2's N_ITERS.
+	bwscKMeansIters = 4
+)
+
+// Block format bytes.
+const (
+	bwscFormatSingle = 0
+	bwscFormatMulti  = 1
+)
+
+// bwscTableCount picks the table count from the symbol count, bzip2's
+// thresholds.
+func bwscTableCount(nSyms int) int {
+	switch {
+	case nSyms < 1200:
+		return 2
+	case nSyms < 2400:
+		return 3
+	case nSyms < 4800:
+		return 4
+	case nSyms < 9600:
+		return 5
+	}
+	return 6
+}
+
+// encodeMulti produces the multi-table encoding of a symbol stream:
+// format byte, 3-byte primary index, table count, uvarint group count,
+// one selector byte per group, nTables × 258 code-length bytes, then
+// the bitstream with tables switching every bwscGroupSize symbols.
+func encodeMulti(primary int, syms []int) []byte {
+	nTables := bwscTableCount(len(syms))
+	nGroups := (len(syms) + bwscGroupSize - 1) / bwscGroupSize
+
+	// Initial tables: split the alphabet by cumulative frequency so each
+	// table starts owning roughly 1/nTables of the mass (bzip2's seed).
+	freq := make([]int, bwscAlphabet)
+	total := 0
+	for _, s := range syms {
+		freq[s]++
+		total++
+	}
+	lengths := make([][]int, nTables)
+	for t := range lengths {
+		lengths[t] = make([]int, bwscAlphabet)
+		lo := t * total / nTables
+		hi := (t + 1) * total / nTables
+		cum := 0
+		for s := 0; s < bwscAlphabet; s++ {
+			inRange := cum >= lo && cum < hi && freq[s] > 0
+			cum += freq[s]
+			if inRange {
+				lengths[t][s] = 1 // cheap inside the seed range
+			} else {
+				lengths[t][s] = bwscUnusedLen
+			}
+		}
+	}
+
+	selectors := make([]byte, nGroups)
+	for iter := 0; iter < bwscKMeansIters; iter++ {
+		tableFreq := make([][]int, nTables)
+		for t := range tableFreq {
+			tableFreq[t] = make([]int, bwscAlphabet)
+		}
+		for g := 0; g < nGroups; g++ {
+			start := g * bwscGroupSize
+			end := min(start+bwscGroupSize, len(syms))
+			best, bestCost := 0, int(^uint(0)>>1)
+			for t := 0; t < nTables; t++ {
+				cost := 0
+				for _, s := range syms[start:end] {
+					l := lengths[t][s]
+					if l == 0 {
+						l = bwscUnusedLen
+					}
+					cost += l
+				}
+				if cost < bestCost {
+					best, bestCost = t, cost
+				}
+			}
+			selectors[g] = byte(best)
+			for _, s := range syms[start:end] {
+				tableFreq[best][s]++
+			}
+		}
+		for t := 0; t < nTables; t++ {
+			lengths[t] = huffmanCodeLengths(tableFreq[t])
+		}
+	}
+
+	codes := make([][]uint32, nTables)
+	for t := range codes {
+		codes[t] = canonicalCodes(lengths[t])
+	}
+
+	out := []byte{bwscFormatMulti, byte(primary >> 16), byte(primary >> 8), byte(primary)}
+	out = append(out, byte(nTables))
+	out = appendUvarintByteSlice(out, uint64(nGroups))
+	out = append(out, selectors...)
+	for t := 0; t < nTables; t++ {
+		for _, l := range lengths[t] {
+			out = append(out, byte(l))
+		}
+	}
+	w := bitWriter{buf: out}
+	for g := 0; g < nGroups; g++ {
+		start := g * bwscGroupSize
+		end := min(start+bwscGroupSize, len(syms))
+		t := int(selectors[g])
+		for _, s := range syms[start:end] {
+			w.writeBits(codes[t][s], uint(lengths[t][s]))
+		}
+	}
+	return w.finish()
+}
+
+// decodeMulti reverses encodeMulti, returning the RLE0 symbol stream
+// (including the trailing EOB, which the caller strips).
+func decodeMulti(src []byte) (primary int, syms []int, err error) {
+	if len(src) < 5 {
+		return 0, nil, fmt.Errorf("%w: bwsc multi block too short", errBlockCorrupt)
+	}
+	primary = int(src[1])<<16 | int(src[2])<<8 | int(src[3])
+	nTables := int(src[4])
+	if nTables < 1 || nTables > 6 {
+		return 0, nil, fmt.Errorf("%w: bwsc table count %d", errBlockCorrupt, nTables)
+	}
+	rest := src[5:]
+	nGroups, used, uerr := uvarintByteSlice(rest)
+	if uerr != nil || nGroups > 1<<24 {
+		return 0, nil, fmt.Errorf("%w: bwsc group count", errBlockCorrupt)
+	}
+	rest = rest[used:]
+	if uint64(len(rest)) < nGroups {
+		return 0, nil, fmt.Errorf("%w: bwsc selectors truncated", errBlockCorrupt)
+	}
+	selectors := rest[:nGroups]
+	rest = rest[nGroups:]
+	if len(rest) < nTables*bwscAlphabet {
+		return 0, nil, fmt.Errorf("%w: bwsc tables truncated", errBlockCorrupt)
+	}
+	decs := make([]*canonicalDecoder, nTables)
+	for t := 0; t < nTables; t++ {
+		lengths := make([]int, bwscAlphabet)
+		for i := range lengths {
+			lengths[i] = int(rest[t*bwscAlphabet+i])
+			if lengths[i] > bwscMaxCodeLen {
+				return 0, nil, fmt.Errorf("%w: bwsc code length %d", errBlockCorrupt, lengths[i])
+			}
+		}
+		d, derr := newCanonicalDecoder(lengths)
+		if derr != nil {
+			return 0, nil, derr
+		}
+		decs[t] = d
+	}
+	rest = rest[nTables*bwscAlphabet:]
+
+	r := bitReader{buf: rest}
+	for g := uint64(0); g < nGroups; g++ {
+		t := int(selectors[g])
+		if t >= nTables {
+			return 0, nil, fmt.Errorf("%w: bwsc selector %d", errBlockCorrupt, t)
+		}
+		for i := 0; i < bwscGroupSize; i++ {
+			s, ok := decs[t].decode(&r)
+			if !ok {
+				return 0, nil, fmt.Errorf("%w: bwsc multi bitstream truncated", errBlockCorrupt)
+			}
+			if s == symEOB {
+				if g != nGroups-1 {
+					return 0, nil, fmt.Errorf("%w: bwsc EOB before final group", errBlockCorrupt)
+				}
+				return primary, syms, nil
+			}
+			syms = append(syms, s)
+		}
+	}
+	return 0, nil, fmt.Errorf("%w: bwsc multi stream missing EOB", errBlockCorrupt)
+}
+
+// appendUvarintByteSlice / uvarintByteSlice are tiny local varint
+// helpers (the codec package avoids importing bytesx to stay leaf-level).
+func appendUvarintByteSlice(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func uvarintByteSlice(buf []byte) (uint64, int, error) {
+	var v uint64
+	for i := 0; i < len(buf) && i < 10; i++ {
+		v |= uint64(buf[i]&0x7f) << (7 * i)
+		if buf[i] < 0x80 {
+			return v, i + 1, nil
+		}
+	}
+	return 0, 0, errBlockCorrupt
+}

@@ -1,0 +1,97 @@
+// Package codec provides the map-output compression codecs used by the
+// engine and the Table 1 experiment: identity (none), DEFLATE and gzip
+// from the standard library, plus two codecs written from scratch — a
+// Snappy-compatible LZ codec (fast, modest ratio) and BWSC, a
+// block-sorting codec (BWT + MTF + RLE0 + canonical Huffman) standing in
+// for bzip2 (slow, high ratio).
+package codec
+
+import (
+	"compress/flate"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Codec turns a raw stream into a compressed stream and back.
+type Codec interface {
+	// Name identifies the codec ("none", "gzip", ...).
+	Name() string
+	// NewWriter wraps w; data written to the result is compressed into w.
+	// The result must be closed to flush.
+	NewWriter(w io.Writer) (io.WriteCloser, error)
+	// NewReader wraps r, decompressing the stream produced by NewWriter.
+	NewReader(r io.Reader) (io.ReadCloser, error)
+}
+
+// ByName returns the codec registered under name.
+func ByName(name string) (Codec, error) {
+	switch name {
+	case "", "none", "identity":
+		return Identity{}, nil
+	case "deflate":
+		return Deflate{}, nil
+	case "gzip":
+		return Gzip{}, nil
+	case "snappy":
+		return Snappy{}, nil
+	case "bwsc", "bzip2":
+		return BWSC{}, nil
+	}
+	return nil, fmt.Errorf("codec: unknown codec %q", name)
+}
+
+// Names lists all registered codec names.
+func Names() []string { return []string{"none", "deflate", "gzip", "snappy", "bwsc"} }
+
+// Identity is the no-op codec.
+type Identity struct{}
+
+// Name implements Codec.
+func (Identity) Name() string { return "none" }
+
+// NewWriter implements Codec.
+func (Identity) NewWriter(w io.Writer) (io.WriteCloser, error) {
+	return nopWriteCloser{w}, nil
+}
+
+// NewReader implements Codec.
+func (Identity) NewReader(r io.Reader) (io.ReadCloser, error) {
+	return io.NopCloser(r), nil
+}
+
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+// Deflate is raw DEFLATE at the default compression level.
+type Deflate struct{}
+
+// Name implements Codec.
+func (Deflate) Name() string { return "deflate" }
+
+// NewWriter implements Codec.
+func (Deflate) NewWriter(w io.Writer) (io.WriteCloser, error) {
+	return flate.NewWriter(w, flate.DefaultCompression)
+}
+
+// NewReader implements Codec.
+func (Deflate) NewReader(r io.Reader) (io.ReadCloser, error) {
+	return flate.NewReader(r), nil
+}
+
+// Gzip is DEFLATE with the gzip container, mirroring Hadoop's GzipCodec.
+type Gzip struct{}
+
+// Name implements Codec.
+func (Gzip) Name() string { return "gzip" }
+
+// NewWriter implements Codec.
+func (Gzip) NewWriter(w io.Writer) (io.WriteCloser, error) {
+	return gzip.NewWriter(w), nil
+}
+
+// NewReader implements Codec.
+func (Gzip) NewReader(r io.Reader) (io.ReadCloser, error) {
+	return gzip.NewReader(r)
+}

@@ -1,0 +1,72 @@
+package codec
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// benchData approximates map output: sorted, prefix-redundant framed
+// records, the stream the codecs compress in real jobs.
+func benchData() []byte {
+	return zipfText(1 << 20)
+}
+
+func benchCompress(b *testing.B, c Codec) {
+	data := benchData()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w, err := c.NewWriter(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(buf.Len())/float64(len(data)), "ratio")
+		}
+	}
+}
+
+func benchDecompress(b *testing.B, c Codec) {
+	data := benchData()
+	var buf bytes.Buffer
+	w, _ := c.NewWriter(&buf)
+	w.Write(data)
+	w.Close()
+	comp := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := c.NewReader(bytes.NewReader(comp))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressGzip(b *testing.B)    { benchCompress(b, Gzip{}) }
+func BenchmarkCompressDeflate(b *testing.B) { benchCompress(b, Deflate{}) }
+func BenchmarkCompressSnappy(b *testing.B)  { benchCompress(b, Snappy{}) }
+func BenchmarkCompressBWSC(b *testing.B)    { benchCompress(b, BWSC{}) }
+
+func BenchmarkDecompressGzip(b *testing.B)   { benchDecompress(b, Gzip{}) }
+func BenchmarkDecompressSnappy(b *testing.B) { benchDecompress(b, Snappy{}) }
+func BenchmarkDecompressBWSC(b *testing.B)   { benchDecompress(b, BWSC{}) }
+
+func BenchmarkBWTForward(b *testing.B) {
+	data := zipfText(64 << 10)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		bwtForward(data)
+	}
+}

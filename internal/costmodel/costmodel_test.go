@@ -1,0 +1,108 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/mr"
+	"repro/internal/netsim"
+	"repro/internal/workloads/wordcount"
+)
+
+func TestEstimateComponents(t *testing.T) {
+	c := Cluster{Workers: 2, CoresPerWorker: 2, DiskBps: 1000, Net: netsim.Gigabit(2)}
+	stats := mr.Stats{
+		MapCPU:         4 * time.Second,
+		ReduceCPU:      4 * time.Second,
+		DiskReadBytes:  5000,
+		DiskWriteBytes: 5000,
+	}
+	e, err := c.Estimate(stats, []int64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.CPUTime != 2*time.Second { // 8s over 4 cores
+		t.Errorf("CPUTime = %v", e.CPUTime)
+	}
+	if e.DiskTime != 5*time.Second { // 10000 bytes over 2×1000 Bps
+		t.Errorf("DiskTime = %v", e.DiskTime)
+	}
+	if e.Runtime != 5*time.Second {
+		t.Errorf("Runtime = %v, want disk-bound 5s", e.Runtime)
+	}
+	if !strings.Contains(e.String(), "runtime") {
+		t.Error("String should render")
+	}
+}
+
+func TestNetworkBoundJob(t *testing.T) {
+	c := Paper()
+	stats := mr.Stats{MapCPU: time.Second}
+	// 11 partitions × 1 GB each: the shared gigabit fabric dominates.
+	per := make([]int64, 11)
+	for i := range per {
+		per[i] = 1 << 30
+	}
+	e, err := c.Estimate(stats, per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NetTime < 5*time.Second {
+		t.Errorf("NetTime = %v; 11 GB over gigabit NICs should take seconds", e.NetTime)
+	}
+	if e.Runtime != e.NetTime {
+		t.Errorf("job should be network-bound: %+v", e)
+	}
+}
+
+func TestSmallerShuffleEstimatesFaster(t *testing.T) {
+	// The headline claim end-to-end: a job whose shuffle shrinks must
+	// estimate faster on a network-constrained cluster.
+	c := Paper()
+	stats := mr.Stats{}
+	big, err := c.Estimate(stats, []int64{100 << 20, 100 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := c.Estimate(stats, []int64{10 << 20, 10 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Runtime*5 > big.Runtime {
+		t.Errorf("10x smaller shuffle: %v vs %v", small.Runtime, big.Runtime)
+	}
+}
+
+func TestEstimateFromRealJob(t *testing.T) {
+	text := datagen.NewRandomText(datagen.RandomTextConfig{Seed: 71, Lines: 200})
+	res, err := mr.Run(wordcount.NewJob(4), wordcount.Splits(text, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ShufflePerPartition) != 4 {
+		t.Fatalf("ShufflePerPartition = %v", res.ShufflePerPartition)
+	}
+	var sum int64
+	for _, b := range res.ShufflePerPartition {
+		sum += b
+	}
+	if sum != res.Stats.ShuffleBytes {
+		t.Errorf("per-partition sum %d != total %d", sum, res.Stats.ShuffleBytes)
+	}
+	e, err := Paper().Estimate(res.Stats, res.ShufflePerPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Runtime <= 0 {
+		t.Errorf("estimate = %+v", e)
+	}
+}
+
+func TestBadCluster(t *testing.T) {
+	var c Cluster
+	if _, err := c.Estimate(mr.Stats{}, nil); err == nil {
+		t.Error("zero-core cluster should error")
+	}
+}

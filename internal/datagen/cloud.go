@@ -1,0 +1,98 @@
+package datagen
+
+import (
+	"strconv"
+	"strings"
+)
+
+// CloudConfig shapes the Cloud substitute: extended cloud reports from
+// ships and land stations, 28 attributes per record (Hahn & Warren).
+// The theta-join of §7.7.3 equi-joins on (date, longitude) and bands on
+// latitude, so those three attributes are generated with realistic
+// clustering; the remaining 25 are filler measurements.
+type CloudConfig struct {
+	// Seed makes the data reproducible.
+	Seed uint64
+	// Records is the record count.
+	Records int
+	// Days is the number of distinct report dates. Defaults to 30.
+	Days int
+	// Stations is the number of distinct (longitude) stations per day
+	// bucket. Defaults to 100.
+	Stations int
+}
+
+func (c CloudConfig) normalized() CloudConfig {
+	if c.Days <= 0 {
+		c.Days = 30
+	}
+	if c.Stations <= 0 {
+		c.Stations = 100
+	}
+	return c
+}
+
+// CloudRecord is one synoptic report. Attr holds the 25 filler
+// measurement attributes.
+type CloudRecord struct {
+	Date      int32 // yyyymmdd
+	Longitude int32 // tenths of a degree, 0..3599
+	Latitude  int32 // tenths of a degree, -900..900
+	Attr      [25]int32
+}
+
+// Line renders the record as the comma-separated input format.
+func (r CloudRecord) Line() string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(int(r.Date)))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(int(r.Longitude)))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(int(r.Latitude)))
+	for _, a := range r.Attr {
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(int(a)))
+	}
+	return b.String()
+}
+
+// ParseCloudLine parses the first three attributes of a record line.
+func ParseCloudLine(line []byte) (date, longitude, latitude int32, ok bool) {
+	fields := strings.SplitN(string(line), ",", 4)
+	if len(fields) < 3 {
+		return 0, 0, 0, false
+	}
+	d, err1 := strconv.Atoi(fields[0])
+	lon, err2 := strconv.Atoi(fields[1])
+	lat, err3 := strconv.Atoi(fields[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, 0, 0, false
+	}
+	return int32(d), int32(lon), int32(lat), true
+}
+
+// Cloud is a deterministic report generator.
+type Cloud struct {
+	cfg CloudConfig
+}
+
+// NewCloud returns a generator.
+func NewCloud(cfg CloudConfig) *Cloud { return &Cloud{cfg: cfg.normalized()} }
+
+// Record generates report i.
+func (c *Cloud) Record(i int) CloudRecord {
+	rng := NewRNG(c.cfg.Seed ^ 0xc10d).Fork(uint64(i) + 1)
+	day := rng.Intn(c.cfg.Days)
+	rec := CloudRecord{
+		Date:      int32(20110301 + day), // a synthetic yyyymmdd run
+		Longitude: int32(rng.Intn(c.cfg.Stations) * (3600 / c.cfg.Stations)),
+		Latitude:  int32(rng.Intn(1801) - 900),
+	}
+	for j := range rec.Attr {
+		rec.Attr[j] = int32(rng.Intn(1000))
+	}
+	return rec
+}
+
+// Len reports the configured record count.
+func (c *Cloud) Len() int { return c.cfg.Records }

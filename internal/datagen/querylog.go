@@ -1,0 +1,141 @@
+package datagen
+
+import (
+	"strconv"
+	"strings"
+)
+
+// QueryLogConfig shapes the synthetic QLog substitute: real query logs
+// have a Zipfian query-popularity distribution over a large pool of
+// distinct queries averaging ~19 characters (the paper's QLog averages
+// 19.07).
+type QueryLogConfig struct {
+	// Seed makes the log reproducible.
+	Seed uint64
+	// Queries is the number of log records to produce.
+	Queries int
+	// DistinctQueries is the pool of distinct query strings.
+	// Defaults to max(1000, Queries/10).
+	DistinctQueries int
+	// VocabWords is the word vocabulary size. Defaults to 5000.
+	VocabWords int
+	// Skew is the Zipf exponent of query popularity. Defaults to 1.1.
+	Skew float64
+}
+
+func (c QueryLogConfig) normalized() QueryLogConfig {
+	if c.DistinctQueries <= 0 {
+		c.DistinctQueries = max(1000, c.Queries/10)
+	}
+	if c.VocabWords <= 0 {
+		c.VocabWords = 5000
+	}
+	if c.Skew == 0 {
+		c.Skew = 1.1
+	}
+	return c
+}
+
+// QueryLogRecord is one search-log entry, mirroring QLog's schema:
+// an anonymous user id, the query string, and two query features.
+type QueryLogRecord struct {
+	UserID      uint32
+	Query       string
+	Occurrences uint32 // total occurrences of the query in search logs
+	Clicks      uint32 // total resulting links users browsed
+}
+
+// Line renders the record in QLog's tab-separated input format.
+func (r QueryLogRecord) Line() string {
+	var b strings.Builder
+	b.WriteString("u")
+	b.WriteString(strconv.FormatUint(uint64(r.UserID), 10))
+	b.WriteByte('\t')
+	b.WriteString(r.Query)
+	b.WriteByte('\t')
+	b.WriteString(strconv.FormatUint(uint64(r.Occurrences), 10))
+	b.WriteByte('\t')
+	b.WriteString(strconv.FormatUint(uint64(r.Clicks), 10))
+	return b.String()
+}
+
+// ParseQueryLine extracts the query string from a QLog-format line.
+func ParseQueryLine(line []byte) []byte {
+	first := -1
+	for i, c := range line {
+		if c != '\t' {
+			continue
+		}
+		if first < 0 {
+			first = i
+			continue
+		}
+		return line[first+1 : i]
+	}
+	if first >= 0 {
+		return line[first+1:]
+	}
+	return line
+}
+
+// QueryLog is a deterministic generator over the synthetic search log.
+type QueryLog struct {
+	cfg     QueryLogConfig
+	queries []string
+	zipf    *Zipf
+}
+
+// NewQueryLog builds the query pool (words composed into 1-5 word
+// queries, average length tuned near 19 chars) and its popularity
+// distribution.
+func NewQueryLog(cfg QueryLogConfig) *QueryLog {
+	cfg = cfg.normalized()
+	rng := NewRNG(cfg.Seed)
+
+	vocab := make([]string, cfg.VocabWords)
+	for i := range vocab {
+		n := 2 + rng.Intn(7) // word length 2..8
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte(byte('a' + rng.Intn(26)))
+		}
+		vocab[i] = sb.String()
+	}
+	wordZipf := NewZipf(len(vocab), 1.0)
+
+	queries := make([]string, cfg.DistinctQueries)
+	for i := range queries {
+		words := 1 + rng.Intn(5)
+		parts := make([]string, words)
+		for j := range parts {
+			parts[j] = vocab[wordZipf.Sample(rng)]
+		}
+		queries[i] = strings.Join(parts, " ")
+	}
+	return &QueryLog{cfg: cfg, queries: queries, zipf: NewZipf(len(queries), cfg.Skew)}
+}
+
+// Record generates log entry i. Independent of other records, so splits
+// can generate lazily and in parallel.
+func (q *QueryLog) Record(i int) QueryLogRecord {
+	rng := NewRNG(q.cfg.Seed ^ 0xabcd).Fork(uint64(i) + 1)
+	query := q.queries[q.zipf.Sample(rng)]
+	return QueryLogRecord{
+		UserID:      uint32(rng.Intn(1 << 20)),
+		Query:       query,
+		Occurrences: uint32(rng.Intn(100000)),
+		Clicks:      uint32(rng.Intn(1000)),
+	}
+}
+
+// Len reports the configured number of records.
+func (q *QueryLog) Len() int { return q.cfg.Queries }
+
+// AvgQueryLen reports the mean distinct-query length in characters.
+func (q *QueryLog) AvgQueryLen() float64 {
+	total := 0
+	for _, s := range q.queries {
+		total += len(s)
+	}
+	return float64(total) / float64(len(q.queries))
+}

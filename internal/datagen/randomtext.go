@@ -1,0 +1,66 @@
+package datagen
+
+import "strings"
+
+// RandomTextConfig shapes the RandomText substitute: lines of random
+// words drawn from a Zipfian vocabulary, like Hadoop's RandomTextWriter.
+type RandomTextConfig struct {
+	// Seed makes the text reproducible.
+	Seed uint64
+	// Lines is the number of text lines to produce.
+	Lines int
+	// WordsPerLine is the mean words per line. Defaults to 20.
+	WordsPerLine int
+	// VocabWords is the vocabulary size. Defaults to 10000.
+	VocabWords int
+}
+
+func (c RandomTextConfig) normalized() RandomTextConfig {
+	if c.WordsPerLine <= 0 {
+		c.WordsPerLine = 20
+	}
+	if c.VocabWords <= 0 {
+		c.VocabWords = 10000
+	}
+	return c
+}
+
+// RandomText is a deterministic random-text generator.
+type RandomText struct {
+	cfg   RandomTextConfig
+	vocab []string
+	zipf  *Zipf
+}
+
+// NewRandomText builds the vocabulary.
+func NewRandomText(cfg RandomTextConfig) *RandomText {
+	cfg = cfg.normalized()
+	rng := NewRNG(cfg.Seed)
+	vocab := make([]string, cfg.VocabWords)
+	for i := range vocab {
+		n := 3 + rng.Intn(8)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte(byte('a' + rng.Intn(26)))
+		}
+		vocab[i] = sb.String()
+	}
+	return &RandomText{cfg: cfg, vocab: vocab, zipf: NewZipf(len(vocab), 1.05)}
+}
+
+// Line generates text line i.
+func (t *RandomText) Line(i int) string {
+	rng := NewRNG(t.cfg.Seed ^ 0x7e7e).Fork(uint64(i) + 1)
+	words := t.cfg.WordsPerLine/2 + rng.Intn(t.cfg.WordsPerLine)
+	if words < 1 {
+		words = 1
+	}
+	parts := make([]string, words)
+	for j := range parts {
+		parts[j] = t.vocab[t.zipf.Sample(rng)]
+	}
+	return strings.Join(parts, " ")
+}
+
+// Len reports the configured number of lines.
+func (t *RandomText) Len() int { return t.cfg.Lines }

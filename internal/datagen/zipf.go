@@ -1,0 +1,47 @@
+package datagen
+
+import "math"
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s, via a precomputed cumulative table and binary search.
+// Skewed inputs are what give Anti-Combining its headroom (the paper
+// calls out skewed graphs and query logs explicitly), so the sampler is
+// used by all generators.
+type Zipf struct {
+	cum []float64
+}
+
+// NewZipf builds a sampler over n ranks with exponent s > 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("datagen: Zipf with non-positive n")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum}
+}
+
+// Sample draws one rank using rng.
+func (z *Zipf) Sample(rng *RNG) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N reports the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }

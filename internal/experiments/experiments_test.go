@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny is a fast configuration for CI-style runs; the shape assertions
+// below must hold even at this scale.
+func tiny() Config { return Config{Scale: 0.05, Reducers: 4, Splits: 4} }
+
+func TestOverheadShape(t *testing.T) {
+	r, err := Overhead(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §7.1's shape: tiny byte overhead (flag bits), bounded CPU overhead.
+	if r.TransferDeltaPct < 0 || r.TransferDeltaPct > 15 {
+		t.Errorf("transfer delta = %+.2f%%, want small positive", r.TransferDeltaPct)
+	}
+	if r.DiskDeltaPct < 0 || r.DiskDeltaPct > 15 {
+		t.Errorf("disk delta = %+.2f%%", r.DiskDeltaPct)
+	}
+	if r.Adaptive.MapOutputRecords != r.Original.MapOutputRecords {
+		t.Error("record counts must match on Sort")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Sort") {
+		t.Error("render missing title")
+	}
+}
+
+func TestQSMapOutputShape(t *testing.T) {
+	r, err := QSMapOutput(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r.Partitioners {
+		orig := r.Metrics[p][VariantOriginal].MapOutputBytes
+		eager := r.Metrics[p][VariantEager].MapOutputBytes
+		lazy := r.Metrics[p][VariantLazy].MapOutputBytes
+		adaptive := r.Metrics[p][VariantAdaptive].MapOutputBytes
+		if eager >= orig {
+			t.Errorf("%s: eager %d not below original %d", p, eager, orig)
+		}
+		if lazy >= orig {
+			t.Errorf("%s: lazy %d not below original %d", p, lazy, orig)
+		}
+		// AdaptiveSH picks the best encoding per partition, so it can
+		// only lose to the pure strategies by flag bytes (Prefix-1 in
+		// the paper); never by more than 2%.
+		best := min(eager, lazy)
+		if float64(adaptive) > float64(best)*1.02 {
+			t.Errorf("%s: adaptive %d worse than best pure %d", p, adaptive, best)
+		}
+	}
+	// Prefix partitioners share more than hash for the anti variants.
+	hashRed := factor(r.Metrics["Hash"][VariantOriginal].MapOutputBytes,
+		r.Metrics["Hash"][VariantAdaptive].MapOutputBytes)
+	p1Red := factor(r.Metrics["Prefix-1"][VariantOriginal].MapOutputBytes,
+		r.Metrics["Prefix-1"][VariantAdaptive].MapOutputBytes)
+	if p1Red <= hashRed {
+		t.Errorf("Prefix-1 reduction %.2f not above Hash %.2f", p1Red, hashRed)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Fig. 9") {
+		t.Error("render missing title")
+	}
+}
+
+func TestQSCombinerShape(t *testing.T) {
+	r, err := QSCombiner(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §7.3: the combiner barely helps the original program...
+	if r.CombinerReductionPct < 0 || r.CombinerReductionPct > 60 {
+		t.Errorf("combiner reduction = %.2f%%", r.CombinerReductionPct)
+	}
+	// ...but collapses Shared in the reduce phase: fewer (ideally zero)
+	// Shared spills than the combiner-less Anti-Combining run.
+	if r.AdaptiveNoCombiner.SharedSpills == 0 {
+		t.Skip("scale too small to trigger Shared spills")
+	}
+	if r.AdaptiveCombiner.SharedSpills >= r.AdaptiveNoCombiner.SharedSpills {
+		t.Errorf("Shared spills with combiner (%d) not below without (%d)",
+			r.AdaptiveCombiner.SharedSpills, r.AdaptiveNoCombiner.SharedSpills)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+}
+
+func TestQSCompressionShape(t *testing.T) {
+	r, err := QSCompression(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r.Partitioners {
+		orig := r.Metrics[p][VariantOriginal].ShuffleBytes
+		adaptive := r.Metrics[p][VariantAdaptive].ShuffleBytes
+		if adaptive >= orig {
+			t.Errorf("%s: compressed adaptive %d not below compressed original %d",
+				p, adaptive, orig)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+}
+
+func TestQSCodecTableShape(t *testing.T) {
+	r, err := QSCodecTable(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]RunMetrics{}
+	for _, m := range r.Rows {
+		byName[m.Name] = m
+	}
+	// Table 1's spectrum: the block-sorting codec compresses best but
+	// burns the most CPU; snappy is the cheap/weak end; AdaptiveSH+gzip
+	// ships the least data of all.
+	if byName["bwsc(bzip2)"].ShuffleBytes >= byName["snappy"].ShuffleBytes {
+		t.Errorf("bwsc (%d) should out-compress snappy (%d)",
+			byName["bwsc(bzip2)"].ShuffleBytes, byName["snappy"].ShuffleBytes)
+	}
+	if byName["bwsc(bzip2)"].CPU <= byName["snappy"].CPU {
+		t.Errorf("bwsc CPU (%v) should exceed snappy (%v)",
+			byName["bwsc(bzip2)"].CPU, byName["snappy"].CPU)
+	}
+	for _, other := range []string{"deflate", "gzip", "bwsc(bzip2)", "snappy"} {
+		if byName["AdaptiveSH+gzip"].ShuffleBytes >= byName[other].ShuffleBytes {
+			t.Errorf("AdaptiveSH+gzip (%d) should ship less than %s (%d)",
+				byName["AdaptiveSH+gzip"].ShuffleBytes, other, byName[other].ShuffleBytes)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+}
+
+func TestQSCostBreakdownShape(t *testing.T) {
+	r, err := QSCostBreakdown(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]RunMetrics{}
+	for _, m := range r.Rows {
+		byName[m.Name] = m
+	}
+	// Table 2's shape: every AdaptiveSH variant reads and writes less
+	// disk than its Original counterpart.
+	pairs := [][2]string{
+		{"AdaptiveSH", "Original"},
+		{"AdaptiveSH-CB", "Original-CB"},
+		{"AdaptiveSH-CP", "Original-CP"},
+	}
+	for _, p := range pairs {
+		a, o := byName[p[0]], byName[p[1]]
+		if a.DiskRead+a.DiskWrite >= o.DiskRead+o.DiskWrite {
+			t.Errorf("%s disk (%d) not below %s (%d)", p[0],
+				a.DiskRead+a.DiskWrite, p[1], o.DiskRead+o.DiskWrite)
+		}
+	}
+	// The CB variant's Shared stays (almost) in memory.
+	if byName["AdaptiveSH-CB"].SharedSpills > byName["AdaptiveSH"].SharedSpills {
+		t.Errorf("AdaptiveSH-CB spills (%d) above AdaptiveSH (%d)",
+			byName["AdaptiveSH-CB"].SharedSpills, byName["AdaptiveSH"].SharedSpills)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+}
+
+func TestCPUThresholdShape(t *testing.T) {
+	cfg := tiny()
+	cfg.Scale = 0.1 // CPUThreshold divides scale internally
+	r, err := CPUThreshold(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adaptive-0 never uses LazySH.
+	for i, share := range r.LazyShare["Adaptive-0"] {
+		if share != 0 {
+			t.Errorf("Adaptive-0 lazy share at x=%d is %f", r.Xs[i], share)
+		}
+	}
+	// Adaptive-∞ keeps using LazySH regardless of Map cost.
+	last := len(r.Xs) - 1
+	if r.LazyShare["Adaptive-inf"][last] == 0 {
+		t.Error("Adaptive-inf should still choose lazy at high x")
+	}
+	// Adaptive-α's threshold suppresses LazySH as Map calls get
+	// expensive: its lazy share at the largest x must be far below its
+	// share at x=0 (the paper's convergence to Adaptive-0).
+	if r.LazyShare["Adaptive-a"][0] == 0 {
+		t.Error("Adaptive-a should use lazy at x=0")
+	}
+	if r.LazyShare["Adaptive-a"][last] > r.LazyShare["Adaptive-a"][0]/2 {
+		t.Errorf("Adaptive-a lazy share did not fall: x=0 %.3f vs x=%d %.3f",
+			r.LazyShare["Adaptive-a"][0], r.Xs[last], r.LazyShare["Adaptive-a"][last])
+	}
+	// CPU grows with x for every variant.
+	for _, v := range r.Variants {
+		if r.CPU[v][last] <= r.CPU[v][0] {
+			t.Errorf("%s CPU did not grow with x: %v vs %v", v, r.CPU[v][0], r.CPU[v][last])
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+}
+
+func TestWordCountShape(t *testing.T) {
+	r, err := WordCount(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RecordsFactor < 1.5 {
+		t.Errorf("pre-combine record factor = %.2f, want > 1.5 (paper: 7)", r.RecordsFactor)
+	}
+	// Shuffle stays tiny either way (the combiner is effective); the
+	// delta must be small relative to map output.
+	if abs64(r.ShuffleDeltaBytes) > r.Original.MapOutputBytes/10 {
+		t.Errorf("shuffle delta %d too large", r.ShuffleDeltaBytes)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+}
+
+func TestPageRankShape(t *testing.T) {
+	r, err := PageRank(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ShuffleFactor < 1.3 {
+		t.Errorf("shuffle factor = %.2f, want > 1.3 (paper: 2.7)", r.ShuffleFactor)
+	}
+	if r.DiskWriteFactor < 1.2 {
+		t.Errorf("disk write factor = %.2f", r.DiskWriteFactor)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+}
+
+func TestThetaJoinShape(t *testing.T) {
+	r, err := ThetaJoin(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReplicationFactor != 66 {
+		t.Errorf("replication factor = %.1f, want 66 (33+33 grid, paper: ~67)", r.ReplicationFactor)
+	}
+	if r.AdaptiveLazyShare < 0.9 {
+		t.Errorf("adaptive lazy share = %.2f, want ~1 (paper: all lazy)", r.AdaptiveLazyShare)
+	}
+	byName := map[string]RunMetrics{}
+	for _, m := range r.Variants {
+		byName[m.Name] = m
+	}
+	if f := factor(byName["Original"].MapOutputBytes, byName["AdaptiveSH"].MapOutputBytes); f < 3 {
+		t.Errorf("map output reduction = %.2f, want > 3 (paper: 9.5)", f)
+	}
+	if byName["AdaptiveSH-CP"].ShuffleBytes >= byName["Original-CP"].ShuffleBytes {
+		t.Error("compressed AdaptiveSH should still beat compressed Original")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

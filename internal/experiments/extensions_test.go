@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestScanShareShape(t *testing.T) {
+	r, err := ScanShare(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Original.MapOutputRecords != r.Adaptive.MapOutputRecords*int64(r.Queries)/int64(tiny().Reducers) &&
+		r.RecordsFactor < 1.5 {
+		t.Errorf("records factor = %.2f; duplicates should collapse", r.RecordsFactor)
+	}
+	if r.BytesFactor < 1.5 {
+		t.Errorf("bytes factor = %.2f", r.BytesFactor)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+}
+
+func TestCrossCallShape(t *testing.T) {
+	r, err := CrossCall(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records must never grow as the window grows (windows larger than a
+	// task's call count tie), bytes must never increase, and the largest
+	// window must be well below per-call encoding.
+	for i := 1; i < len(r.Windows); i++ {
+		if r.Metrics[i].MapOutputRecords > r.Metrics[i-1].MapOutputRecords {
+			t.Errorf("window %d records (%d) above window %d (%d)",
+				r.Windows[i], r.Metrics[i].MapOutputRecords,
+				r.Windows[i-1], r.Metrics[i-1].MapOutputRecords)
+		}
+		if r.Metrics[i].MapOutputBytes > r.Metrics[i-1].MapOutputBytes {
+			t.Errorf("window %d bytes grew", r.Windows[i])
+		}
+	}
+	last := len(r.Windows) - 1
+	if r.Metrics[last].MapOutputRecords*4 > r.Metrics[0].MapOutputRecords {
+		t.Errorf("largest window records (%d) not well below per-call (%d)",
+			r.Metrics[last].MapOutputRecords, r.Metrics[0].MapOutputRecords)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+}
+
+func TestNetworkSweepShape(t *testing.T) {
+	r, err := NetworkSweep(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The runtime benefit must be non-increasing as the network speeds
+	// up (it can flatten once another resource dominates), and the
+	// slowest fabric must show the largest benefit.
+	for i := 1; i < len(r.GbpsSteps); i++ {
+		if r.Ratio[i] > r.Ratio[i-1]*1.0001 {
+			t.Errorf("benefit grew with faster network: %.2f @%.1fGbps -> %.2f @%.1fGbps",
+				r.Ratio[i-1], r.GbpsSteps[i-1], r.Ratio[i], r.GbpsSteps[i])
+		}
+	}
+	if r.Ratio[0] <= 1 {
+		t.Errorf("slowest fabric benefit = %.2f, want > 1", r.Ratio[0])
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+}
+
+func TestSkewShape(t *testing.T) {
+	r, err := Skew(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[string]int{}
+	for i, v := range r.Variants {
+		idx[v] = i
+	}
+	// §6.2's trade-off: LazySH slashes transfer but concentrates
+	// re-executed Map work on reducers; T=0 (EagerSH) avoids it.
+	if r.MapOutputBytes[idx[VariantLazy]]*2 > r.MapOutputBytes[idx[VariantEager]] {
+		t.Errorf("lazy transfer %d not well below eager %d",
+			r.MapOutputBytes[idx[VariantLazy]], r.MapOutputBytes[idx[VariantEager]])
+	}
+	// At least +25% even under instrumented (-race) builds; the
+	// uninstrumented effect at scale is far larger (see EXPERIMENTS.md).
+	if float64(r.MaxTask[idx[VariantLazy]]) < 1.25*float64(r.MaxTask[idx[VariantEager]]) {
+		t.Errorf("lazy max task %v not above eager %v: skew effect missing",
+			r.MaxTask[idx[VariantLazy]], r.MaxTask[idx[VariantEager]])
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+}

@@ -1,0 +1,83 @@
+package iokit
+
+import (
+	"errors"
+	"io"
+	"sync/atomic"
+)
+
+// ErrInjected is the failure FlakyFS injects.
+var ErrInjected = errors.New("iokit: injected failure")
+
+// FlakyFS wraps an FS and fails the Nth byte-level write or read
+// operation (counting across all files), for fault-injection tests:
+// spill, merge, shuffle, and Shared code paths must surface the error
+// instead of corrupting results or panicking.
+type FlakyFS struct {
+	// Inner is the real filesystem.
+	Inner FS
+	// FailWriteAt fails the Nth write op (1-based; 0 disables).
+	FailWriteAt int64
+	// FailReadAt fails the Nth read op (1-based; 0 disables).
+	FailReadAt int64
+
+	writes atomic.Int64
+	reads  atomic.Int64
+}
+
+// Create implements FS.
+func (f *FlakyFS) Create(name string) (io.WriteCloser, error) {
+	w, err := f.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyWriter{fs: f, w: w}, nil
+}
+
+// Open implements FS.
+func (f *FlakyFS) Open(name string) (io.ReadCloser, error) {
+	r, err := f.Inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyReader{fs: f, r: r}, nil
+}
+
+// Remove implements FS.
+func (f *FlakyFS) Remove(name string) error { return f.Inner.Remove(name) }
+
+// Size implements FS.
+func (f *FlakyFS) Size(name string) (int64, error) { return f.Inner.Size(name) }
+
+// List implements FS.
+func (f *FlakyFS) List() ([]string, error) { return f.Inner.List() }
+
+type flakyWriter struct {
+	fs *FlakyFS
+	w  io.WriteCloser
+}
+
+func (w *flakyWriter) Write(p []byte) (int, error) {
+	n := w.fs.writes.Add(1)
+	if w.fs.FailWriteAt > 0 && n >= w.fs.FailWriteAt {
+		return 0, ErrInjected
+	}
+	return w.w.Write(p)
+}
+
+func (w *flakyWriter) Close() error { return w.w.Close() }
+
+type flakyReader struct {
+	fs *FlakyFS
+	r  io.ReadCloser
+}
+
+func (r *flakyReader) Read(p []byte) (int, error) {
+	n := r.fs.reads.Add(1)
+	if r.fs.FailReadAt > 0 && n >= r.fs.FailReadAt {
+		return 0, ErrInjected
+	}
+	return r.r.Read(p)
+}
+
+func (r *flakyReader) Close() error { return r.r.Close() }

@@ -1,0 +1,340 @@
+// Package iokit abstracts the local filesystem used for map-side spills,
+// map output segments, and the Shared structure's spill files, and meters
+// every byte read and written so experiments can report Hadoop-style
+// "total disk read/write" counters.
+//
+// Two implementations are provided: MemFS keeps files in memory (used by
+// tests and benchmarks for speed and hermeticity) and OSFS stores files
+// under a root directory.
+package iokit
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNotExist is returned when opening or removing a missing file.
+var ErrNotExist = errors.New("iokit: file does not exist")
+
+// FS is the minimal filesystem surface the engine needs.
+type FS interface {
+	// Create opens a new file for writing, truncating any existing file.
+	Create(name string) (io.WriteCloser, error)
+	// Open opens an existing file for reading.
+	Open(name string) (io.ReadCloser, error)
+	// Remove deletes a file.
+	Remove(name string) error
+	// Size reports the byte size of a file.
+	Size(name string) (int64, error)
+	// List returns the names of all files, sorted.
+	List() ([]string, error)
+}
+
+// Meter aggregates I/O byte counts. Safe for concurrent use.
+type Meter struct {
+	readBytes  atomic.Int64
+	writeBytes atomic.Int64
+	readOps    atomic.Int64
+	writeOps   atomic.Int64
+}
+
+// AddRead records n bytes read.
+func (m *Meter) AddRead(n int64) {
+	m.readBytes.Add(n)
+	m.readOps.Add(1)
+}
+
+// AddWrite records n bytes written.
+func (m *Meter) AddWrite(n int64) {
+	m.writeBytes.Add(n)
+	m.writeOps.Add(1)
+}
+
+// ReadBytes reports total bytes read.
+func (m *Meter) ReadBytes() int64 { return m.readBytes.Load() }
+
+// WriteBytes reports total bytes written.
+func (m *Meter) WriteBytes() int64 { return m.writeBytes.Load() }
+
+// ReadOps reports the number of read calls.
+func (m *Meter) ReadOps() int64 { return m.readOps.Load() }
+
+// WriteOps reports the number of write calls.
+func (m *Meter) WriteOps() int64 { return m.writeOps.Load() }
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	m.readBytes.Store(0)
+	m.writeBytes.Store(0)
+	m.readOps.Store(0)
+	m.writeOps.Store(0)
+}
+
+// String renders the meter for logs.
+func (m *Meter) String() string {
+	return fmt.Sprintf("read=%dB(%d ops) write=%dB(%d ops)",
+		m.ReadBytes(), m.ReadOps(), m.WriteBytes(), m.WriteOps())
+}
+
+// CountingWriter wraps a writer and feeds a meter.
+type CountingWriter struct {
+	W io.Writer
+	M *Meter
+	N int64
+}
+
+// Write implements io.Writer.
+func (c *CountingWriter) Write(p []byte) (int, error) {
+	n, err := c.W.Write(p)
+	c.N += int64(n)
+	if c.M != nil {
+		c.M.AddWrite(int64(n))
+	}
+	return n, err
+}
+
+// CountingReader wraps a reader and feeds a meter.
+type CountingReader struct {
+	R io.Reader
+	M *Meter
+	N int64
+}
+
+// Read implements io.Reader.
+func (c *CountingReader) Read(p []byte) (int, error) {
+	n, err := c.R.Read(p)
+	c.N += int64(n)
+	if c.M != nil {
+		c.M.AddRead(int64(n))
+	}
+	return n, err
+}
+
+// Metered wraps fs so that every byte moving through Create/Open feeds m.
+func Metered(fs FS, m *Meter) FS { return &meteredFS{fs: fs, m: m} }
+
+type meteredFS struct {
+	fs FS
+	m  *Meter
+}
+
+func (f *meteredFS) Create(name string) (io.WriteCloser, error) {
+	w, err := f.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &meteredWriter{CountingWriter{W: w, M: f.m}, w}, nil
+}
+
+func (f *meteredFS) Open(name string) (io.ReadCloser, error) {
+	r, err := f.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &meteredReader{CountingReader{R: r, M: f.m}, r}, nil
+}
+
+func (f *meteredFS) Remove(name string) error        { return f.fs.Remove(name) }
+func (f *meteredFS) Size(name string) (int64, error) { return f.fs.Size(name) }
+func (f *meteredFS) List() ([]string, error)         { return f.fs.List() }
+
+type meteredWriter struct {
+	CountingWriter
+	c io.Closer
+}
+
+func (w *meteredWriter) Close() error { return w.c.Close() }
+
+type meteredReader struct {
+	CountingReader
+	c io.Closer
+}
+
+func (r *meteredReader) Close() error { return r.c.Close() }
+
+// MemFS is an in-memory FS. The zero value is not usable; call NewMemFS.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string][]byte)} }
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (io.WriteCloser, error) {
+	return &memFile{fs: m, name: name}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(name string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	data, ok := m.files[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return io.NopCloser(&sliceReader{data: data}), nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Size implements FS.
+func (m *MemFS) Size(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return int64(len(data)), nil
+}
+
+// List implements FS.
+func (m *MemFS) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// TotalBytes reports the sum of all file sizes (test helper).
+func (m *MemFS) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, data := range m.files {
+		total += int64(len(data))
+	}
+	return total
+}
+
+type memFile struct {
+	fs   *MemFS
+	name string
+	buf  []byte
+	done bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	if f.done {
+		return 0, errors.New("iokit: write after close")
+	}
+	f.buf = append(f.buf, p...)
+	return len(p), nil
+}
+
+func (f *memFile) Close() error {
+	if f.done {
+		return nil
+	}
+	f.done = true
+	f.fs.mu.Lock()
+	f.fs.files[f.name] = f.buf
+	f.fs.mu.Unlock()
+	return nil
+}
+
+type sliceReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+// OSFS stores files under a root directory. File names may contain
+// slashes; parent directories are created on demand.
+type OSFS struct {
+	root string
+}
+
+// NewOSFS returns an FS rooted at dir.
+func NewOSFS(dir string) *OSFS { return &OSFS{root: dir} }
+
+func (o *OSFS) path(name string) string { return filepath.Join(o.root, filepath.FromSlash(name)) }
+
+// Create implements FS.
+func (o *OSFS) Create(name string) (io.WriteCloser, error) {
+	p := o.path(name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, err
+	}
+	return os.Create(p)
+}
+
+// Open implements FS.
+func (o *OSFS) Open(name string) (io.ReadCloser, error) {
+	f, err := os.Open(o.path(name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return f, err
+}
+
+// Remove implements FS.
+func (o *OSFS) Remove(name string) error {
+	err := os.Remove(o.path(name))
+	if errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return err
+}
+
+// Size implements FS.
+func (o *OSFS) Size(name string) (int64, error) {
+	info, err := os.Stat(o.path(name))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// List implements FS.
+func (o *OSFS) List() ([]string, error) {
+	var names []string
+	err := filepath.Walk(o.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(o.root, path)
+		if err != nil {
+			return err
+		}
+		names = append(names, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,157 @@
+package iokit
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func testFS(t *testing.T, fs FS) {
+	t.Helper()
+
+	// Create and read back.
+	w, err := fs.Create("a/b.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := fs.Open("a/b.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if string(data) != "hello world" {
+		t.Errorf("got %q", data)
+	}
+
+	// Size.
+	if sz, err := fs.Size("a/b.txt"); err != nil || sz != 11 {
+		t.Errorf("Size = %d, %v", sz, err)
+	}
+
+	// List.
+	w2, _ := fs.Create("c.txt")
+	w2.Close()
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a/b.txt" || names[1] != "c.txt" {
+		t.Errorf("List = %v", names)
+	}
+
+	// Missing file errors.
+	if _, err := fs.Open("missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Open(missing) = %v", err)
+	}
+	if _, err := fs.Size("missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Size(missing) = %v", err)
+	}
+	if err := fs.Remove("missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Remove(missing) = %v", err)
+	}
+
+	// Remove.
+	if err := fs.Remove("c.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("c.txt"); !errors.Is(err, ErrNotExist) {
+		t.Error("c.txt should be gone")
+	}
+
+	// Overwrite truncates.
+	w3, _ := fs.Create("a/b.txt")
+	w3.Write([]byte("x"))
+	w3.Close()
+	if sz, _ := fs.Size("a/b.txt"); sz != 1 {
+		t.Errorf("overwrite size = %d", sz)
+	}
+}
+
+func TestMemFS(t *testing.T) { testFS(t, NewMemFS()) }
+
+func TestOSFS(t *testing.T) { testFS(t, NewOSFS(t.TempDir())) }
+
+func TestMetered(t *testing.T) {
+	var m Meter
+	fs := Metered(NewMemFS(), &m)
+	w, _ := fs.Create("f")
+	w.Write(make([]byte, 100))
+	w.Write(make([]byte, 50))
+	w.Close()
+	if m.WriteBytes() != 150 {
+		t.Errorf("WriteBytes = %d", m.WriteBytes())
+	}
+	if m.WriteOps() != 2 {
+		t.Errorf("WriteOps = %d", m.WriteOps())
+	}
+	r, _ := fs.Open("f")
+	io.ReadAll(r)
+	r.Close()
+	if m.ReadBytes() != 150 {
+		t.Errorf("ReadBytes = %d", m.ReadBytes())
+	}
+	m.Reset()
+	if m.ReadBytes() != 0 || m.WriteBytes() != 0 {
+		t.Error("Reset did not zero counters")
+	}
+	if m.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestCountingWriterReader(t *testing.T) {
+	var m Meter
+	mem := NewMemFS()
+	inner, _ := mem.Create("f")
+	cw := &CountingWriter{W: inner, M: &m}
+	cw.Write([]byte("abcdef"))
+	inner.Close()
+	if cw.N != 6 || m.WriteBytes() != 6 {
+		t.Errorf("CountingWriter N=%d meter=%d", cw.N, m.WriteBytes())
+	}
+	r, _ := mem.Open("f")
+	cr := &CountingReader{R: r, M: &m}
+	io.ReadAll(cr)
+	if cr.N != 6 || m.ReadBytes() != 6 {
+		t.Errorf("CountingReader N=%d meter=%d", cr.N, m.ReadBytes())
+	}
+}
+
+func TestMemFSWriteAfterClose(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := fs.Create("f")
+	w.Close()
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Error("write after close should fail")
+	}
+	if err := w.Close(); err != nil {
+		t.Error("double close should be nil")
+	}
+}
+
+func TestMemFSTotalBytes(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := fs.Create("a")
+	w.Write(make([]byte, 10))
+	w.Close()
+	w2, _ := fs.Create("b")
+	w2.Write(make([]byte, 20))
+	w2.Close()
+	if got := fs.TotalBytes(); got != 30 {
+		t.Errorf("TotalBytes = %d", got)
+	}
+}

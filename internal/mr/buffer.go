@@ -1,0 +1,388 @@
+package mr
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/bytesx"
+	"repro/internal/iokit"
+)
+
+// segment describes one sorted run of records for one reduce partition,
+// stored as a (possibly compressed) file of framed records.
+type segment struct {
+	partition int
+	file      string
+	records   int64
+	rawBytes  int64 // framed bytes before the codec
+}
+
+// mapBuffer is the map-side collect buffer: records accumulate in an
+// arena until SortBufferBytes is reached, then the buffer is sorted by
+// (partition, key) and spilled to one file per partition, optionally
+// running the combiner over each sorted key group — Hadoop's collect /
+// sort-and-spill pipeline.
+type mapBuffer struct {
+	job      *Job
+	fs       iokit.FS
+	counters *Counters
+	taskID   int
+
+	arena   []byte
+	entries []bufEntry
+	spills  int
+	segs    []segment
+}
+
+type bufEntry struct {
+	partition          int32
+	keyOff, keyLen     int32
+	valueOff, valueLen int32
+}
+
+func newMapBuffer(job *Job, fs iokit.FS, counters *Counters, taskID int) *mapBuffer {
+	return &mapBuffer{job: job, fs: fs, counters: counters, taskID: taskID}
+}
+
+func (b *mapBuffer) key(e bufEntry) []byte {
+	return b.arena[e.keyOff : e.keyOff+e.keyLen]
+}
+
+func (b *mapBuffer) value(e bufEntry) []byte {
+	return b.arena[e.valueOff : e.valueOff+e.valueLen]
+}
+
+// recordMetaBytes charges each buffered record for its index entry,
+// mirroring Hadoop's 16-byte kvmeta accounting — record count, not just
+// payload, drives spill frequency.
+const recordMetaBytes = 16
+
+// add copies one record into the buffer, spilling first if it is full.
+func (b *mapBuffer) add(partition int, key, value []byte) error {
+	used := len(b.arena) + recordMetaBytes*len(b.entries)
+	if used+len(key)+len(value)+recordMetaBytes > b.job.SortBufferBytes && len(b.entries) > 0 {
+		if err := b.spill(); err != nil {
+			return err
+		}
+	}
+	ko := int32(len(b.arena))
+	b.arena = append(b.arena, key...)
+	vo := int32(len(b.arena))
+	b.arena = append(b.arena, value...)
+	b.entries = append(b.entries, bufEntry{
+		partition: int32(partition),
+		keyOff:    ko, keyLen: int32(len(key)),
+		valueOff: vo, valueLen: int32(len(value)),
+	})
+	return nil
+}
+
+// spill sorts the buffered records by (partition, key) and writes one
+// sorted segment per non-empty partition.
+func (b *mapBuffer) spill() error {
+	if len(b.entries) == 0 {
+		return nil
+	}
+	cmp := b.job.KeyCompare
+	sort.SliceStable(b.entries, func(i, j int) bool {
+		ei, ej := b.entries[i], b.entries[j]
+		if ei.partition != ej.partition {
+			return ei.partition < ej.partition
+		}
+		return cmp(b.key(ei), b.key(ej)) < 0
+	})
+
+	spillID := b.spills
+	b.spills++
+	b.counters.spills.Add(1)
+
+	for start := 0; start < len(b.entries); {
+		part := b.entries[start].partition
+		end := start
+		for end < len(b.entries) && b.entries[end].partition == part {
+			end++
+		}
+		name := fmt.Sprintf("%s/m%04d/spill%04d.p%04d", b.job.Name, b.taskID, spillID, part)
+		seg, err := b.writeRun(name, int(part), b.entries[start:end])
+		if err != nil {
+			return err
+		}
+		b.segs = append(b.segs, seg)
+		start = end
+	}
+	b.arena = b.arena[:0]
+	b.entries = b.entries[:0]
+	return nil
+}
+
+// writeRun writes one sorted partition run, applying the combiner when
+// configured.
+func (b *mapBuffer) writeRun(name string, partition int, entries []bufEntry) (segment, error) {
+	f, err := b.fs.Create(name)
+	if err != nil {
+		return segment{}, err
+	}
+	cw, err := b.job.Codec.NewWriter(f)
+	if err != nil {
+		f.Close()
+		return segment{}, err
+	}
+	w := bytesx.NewWriter(cw)
+
+	if b.job.NewCombiner != nil {
+		err = b.combineRun(partition, entries, w)
+	} else {
+		for _, e := range entries {
+			if err = w.WriteRecord(b.key(e), b.value(e)); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := cw.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return segment{}, err
+	}
+	return segment{partition: partition, file: name, records: w.Records(), rawBytes: w.Bytes()}, nil
+}
+
+// combineRun groups the sorted entries by key and runs the combiner over
+// each group, writing its output to w.
+func (b *mapBuffer) combineRun(partition int, entries []bufEntry, w *bytesx.Writer) error {
+	combiner := b.job.NewCombiner()
+	info := &TaskInfo{
+		JobName:       b.job.Name,
+		TaskID:        b.taskID,
+		Partition:     partition,
+		NumPartitions: b.job.NumReduceTasks,
+		Partitioner:   b.job.Partitioner,
+		KeyCompare:    b.job.KeyCompare,
+		GroupCompare:  b.job.GroupCompare,
+		Counters:      b.counters,
+		FS:            b.fs,
+	}
+	out := EmitterFunc(func(k, v []byte) error {
+		b.counters.combineOutRecords.Add(1)
+		return w.WriteRecord(k, v)
+	})
+	if err := combiner.Setup(info, out); err != nil {
+		return err
+	}
+	cmp := b.job.KeyCompare
+	for start := 0; start < len(entries); {
+		end := start
+		key := b.key(entries[start])
+		for end < len(entries) && cmp(b.key(entries[end]), key) == 0 {
+			end++
+		}
+		b.counters.combineInRecords.Add(int64(end - start))
+		group := entries[start:end]
+		i := 0
+		vi := valueIterFunc(func() ([]byte, bool) {
+			if i >= len(group) {
+				return nil, false
+			}
+			v := b.value(group[i])
+			i++
+			return v, true
+		})
+		if err := combiner.Reduce(key, vi, out); err != nil {
+			return err
+		}
+		start = end
+	}
+	return combiner.Cleanup(out)
+}
+
+type valueIterFunc func() ([]byte, bool)
+
+func (f valueIterFunc) Next() ([]byte, bool) { return f() }
+
+// finish spills any buffered records and merges each partition's spill
+// segments into a single map output segment, mirroring Hadoop's final
+// on-disk merge. With a single spill the spill files are the output.
+func (b *mapBuffer) finish() ([]segment, error) {
+	if err := b.spill(); err != nil {
+		return nil, err
+	}
+	if b.spills <= 1 {
+		return b.segs, nil
+	}
+	byPart := make(map[int][]segment)
+	for _, s := range b.segs {
+		byPart[s.partition] = append(byPart[s.partition], s)
+	}
+	// Hadoop applies the combiner during the final merge only when
+	// enough spills occurred (min.num.spills.for.combine, default 3).
+	useCombiner := b.job.NewCombiner != nil && b.spills >= 3
+	var out []segment
+	for part, segs := range byPart {
+		merged, err := mergeSegments(b.job, b.fs, b.counters,
+			fmt.Sprintf("%s/m%04d/out.p%04d", b.job.Name, b.taskID, part),
+			part, segs, useCombiner, b.taskID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, merged)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].partition < out[j].partition })
+	return out, nil
+}
+
+// openSegment opens a segment file for sorted streaming.
+func openSegment(job *Job, fs iokit.FS, seg segment) (recordStream, error) {
+	f, err := fs.Open(seg.file)
+	if err != nil {
+		return nil, err
+	}
+	cr, err := job.Codec.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &readerStream{r: bytesx.NewReader(cr), close: func() error {
+		if err := cr.Close(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}}, nil
+}
+
+// mergeSegments k-way merges sorted segments of one partition into a new
+// segment file, optionally combining key groups, and removes the inputs.
+// When the input count exceeds the job's merge factor, intermediate
+// passes reduce it first (Hadoop's multi-pass merge).
+func mergeSegments(job *Job, fs iokit.FS, counters *Counters, name string, partition int, segs []segment, useCombiner bool, taskID int) (segment, error) {
+	pass := 0
+	for len(segs) > job.MergeFactor {
+		batch := segs[:job.MergeFactor]
+		rest := segs[job.MergeFactor:]
+		interName := fmt.Sprintf("%s.pass%04d", name, pass)
+		pass++
+		inter, err := mergeOnce(job, fs, counters, interName, partition, batch, false, taskID)
+		if err != nil {
+			return segment{}, err
+		}
+		segs = append(rest, inter)
+	}
+	return mergeOnce(job, fs, counters, name, partition, segs, useCombiner, taskID)
+}
+
+func mergeOnce(job *Job, fs iokit.FS, counters *Counters, name string, partition int, segs []segment, useCombiner bool, taskID int) (segment, error) {
+	streams := make([]recordStream, len(segs))
+	for i, s := range segs {
+		st, err := openSegment(job, fs, s)
+		if err != nil {
+			return segment{}, err
+		}
+		streams[i] = st
+	}
+	merged, err := newMergeIter(streams, job.KeyCompare)
+	if err != nil {
+		return segment{}, err
+	}
+
+	f, err := fs.Create(name)
+	if err != nil {
+		return segment{}, err
+	}
+	cw, err := job.Codec.NewWriter(f)
+	if err != nil {
+		f.Close()
+		return segment{}, err
+	}
+	w := bytesx.NewWriter(cw)
+
+	if useCombiner {
+		err = combineMerged(job, fs, counters, partition, merged, w, taskID)
+	} else {
+		for {
+			k, v, nerr := merged.next()
+			if nerr == io.EOF {
+				break
+			}
+			if nerr != nil {
+				err = nerr
+				break
+			}
+			if err = w.WriteRecord(k, v); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := cw.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return segment{}, err
+	}
+	for _, s := range segs {
+		if err := fs.Remove(s.file); err != nil {
+			return segment{}, err
+		}
+	}
+	return segment{partition: partition, file: name, records: w.Records(), rawBytes: w.Bytes()}, nil
+}
+
+// combineMerged runs the combiner over key groups of a merged stream.
+func combineMerged(job *Job, fs iokit.FS, counters *Counters, partition int, merged *mergeIter, w *bytesx.Writer, taskID int) error {
+	combiner := job.NewCombiner()
+	info := &TaskInfo{
+		JobName:       job.Name,
+		TaskID:        taskID,
+		Partition:     partition,
+		NumPartitions: job.NumReduceTasks,
+		Partitioner:   job.Partitioner,
+		KeyCompare:    job.KeyCompare,
+		GroupCompare:  job.GroupCompare,
+		Counters:      counters,
+		FS:            fs,
+	}
+	out := EmitterFunc(func(k, v []byte) error {
+		counters.combineOutRecords.Add(1)
+		return w.WriteRecord(k, v)
+	})
+	if err := combiner.Setup(info, out); err != nil {
+		return err
+	}
+	grouped := newGroupedIter(merged, job.KeyCompare)
+	for {
+		key, ok, err := grouped.nextGroup()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		vi := grouped.groupValues(key)
+		counting := valueIterFunc(func() ([]byte, bool) {
+			v, ok := vi.Next()
+			if ok {
+				counters.combineInRecords.Add(1)
+			}
+			return v, ok
+		})
+		if err := combiner.Reduce(key, counting, out); err != nil {
+			return err
+		}
+		if err := vi.drain(); err != nil {
+			return err
+		}
+	}
+	return combiner.Cleanup(out)
+}

@@ -1,0 +1,131 @@
+package mr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counters aggregates job metrics across concurrently running tasks.
+type Counters struct {
+	mapInputRecords   atomic.Int64
+	mapOutputRecords  atomic.Int64
+	mapOutputBytes    atomic.Int64
+	shuffleBytes      atomic.Int64
+	spills            atomic.Int64
+	combineInRecords  atomic.Int64
+	combineOutRecords atomic.Int64
+	reduceInRecords   atomic.Int64
+	reduceOutRecords  atomic.Int64
+	mapTaskNs         atomic.Int64
+	reduceTaskNs      atomic.Int64
+
+	mu    sync.Mutex
+	extra map[string]int64
+}
+
+// AddExtra adds n to a named auxiliary counter (e.g. Anti-Combining's
+// encoding-choice and Shared-spill counters).
+func (c *Counters) AddExtra(name string, n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.extra == nil {
+		c.extra = make(map[string]int64)
+	}
+	c.extra[name] += n
+}
+
+// Extra reads a named auxiliary counter.
+func (c *Counters) Extra(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.extra[name]
+}
+
+// Stats is an immutable snapshot of job metrics.
+type Stats struct {
+	// MapInputRecords counts records fed to Map calls.
+	MapInputRecords int64
+	// MapOutputRecords counts records emitted by mappers into the
+	// framework (after any Anti-Combining encoding).
+	MapOutputRecords int64
+	// MapOutputBytes is the framed size of mapper output before
+	// compression: the paper's "Total Map Output Size".
+	MapOutputBytes int64
+	// ShuffleBytes is the on-the-wire size transferred from map to
+	// reduce tasks (after the map-output codec).
+	ShuffleBytes int64
+	// Spills counts map-side buffer spills.
+	Spills int64
+	// CombineInputRecords / CombineOutputRecords meter the map-phase
+	// combiner.
+	CombineInputRecords  int64
+	CombineOutputRecords int64
+	// ReduceInputRecords counts framed records entering reduce tasks
+	// (before Anti-Combining decoding).
+	ReduceInputRecords int64
+	// ReduceOutputRecords counts records emitted by reducers.
+	ReduceOutputRecords int64
+	// DiskReadBytes / DiskWriteBytes meter all local I/O (spills,
+	// merges, shuffle reads, Shared spills).
+	DiskReadBytes  int64
+	DiskWriteBytes int64
+	// MapCPU / ReduceCPU are summed single-threaded task times, the
+	// analogue of the paper's "total CPU time" split by phase.
+	MapCPU    time.Duration
+	ReduceCPU time.Duration
+	// WallTime is the end-to-end job time in this process.
+	WallTime time.Duration
+	// Extra holds auxiliary counters keyed by name.
+	Extra map[string]int64
+}
+
+// TotalCPU is the summed task CPU across both phases.
+func (s Stats) TotalCPU() time.Duration { return s.MapCPU + s.ReduceCPU }
+
+// String renders the headline stats for logs.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mapIn=%d mapOut=%d mapOutBytes=%d shuffleBytes=%d spills=%d reduceIn=%d reduceOut=%d diskR=%d diskW=%d cpu=%s wall=%s",
+		s.MapInputRecords, s.MapOutputRecords, s.MapOutputBytes, s.ShuffleBytes,
+		s.Spills, s.ReduceInputRecords, s.ReduceOutputRecords,
+		s.DiskReadBytes, s.DiskWriteBytes, s.TotalCPU(), s.WallTime)
+	if len(s.Extra) > 0 {
+		names := make([]string, 0, len(s.Extra))
+		for n := range s.Extra {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, " %s=%d", n, s.Extra[n])
+		}
+	}
+	return b.String()
+}
+
+// Snapshot copies current counter values into a Stats.
+func (c *Counters) Snapshot() Stats {
+	c.mu.Lock()
+	extra := make(map[string]int64, len(c.extra))
+	for k, v := range c.extra {
+		extra[k] = v
+	}
+	c.mu.Unlock()
+	return Stats{
+		MapInputRecords:      c.mapInputRecords.Load(),
+		MapOutputRecords:     c.mapOutputRecords.Load(),
+		MapOutputBytes:       c.mapOutputBytes.Load(),
+		ShuffleBytes:         c.shuffleBytes.Load(),
+		Spills:               c.spills.Load(),
+		CombineInputRecords:  c.combineInRecords.Load(),
+		CombineOutputRecords: c.combineOutRecords.Load(),
+		ReduceInputRecords:   c.reduceInRecords.Load(),
+		ReduceOutputRecords:  c.reduceOutRecords.Load(),
+		MapCPU:               time.Duration(c.mapTaskNs.Load()),
+		ReduceCPU:            time.Duration(c.reduceTaskNs.Load()),
+		Extra:                extra,
+	}
+}

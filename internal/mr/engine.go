@@ -1,0 +1,174 @@
+package mr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/iokit"
+)
+
+// Result carries a finished job's output and metrics.
+type Result struct {
+	// Stats is the job's metric snapshot.
+	Stats Stats
+	// Output holds each reduce partition's emitted records in emission
+	// order (empty when the job sets DiscardOutput).
+	Output [][]Record
+	// ShufflePerPartition holds each reduce partition's fetched bytes
+	// (post-codec) — the flow sizes the cost model's network simulation
+	// consumes.
+	ShufflePerPartition []int64
+	// ReduceTaskTimes holds each reduce task's single-threaded duration,
+	// for load-skew analysis (§6.2 discusses LazySH-induced reducer
+	// skew).
+	ReduceTaskTimes []time.Duration
+}
+
+// Run executes a MapReduce job over the given input splits: all map
+// tasks, then all reduce tasks, each phase bounded by Job.Parallelism
+// workers. It is the analogue of submitting a job to a Hadoop cluster
+// and waiting for completion.
+func Run(job *Job, splits []Split) (*Result, error) {
+	j, err := job.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if len(splits) == 0 {
+		splits = []Split{&MemSplit{}}
+	}
+
+	start := time.Now()
+	meter := &iokit.Meter{}
+	fs := iokit.Metered(j.FS, meter)
+	counters := &Counters{}
+
+	var transport Transport = LocalTransport{}
+	if j.TCPShuffle {
+		tcp, err := NewTCPTransport(fs)
+		if err != nil {
+			return nil, fmt.Errorf("mr: starting shuffle transport: %w", err)
+		}
+		defer tcp.Close()
+		transport = tcp
+	}
+
+	// Map phase.
+	mapSegs := make([][]segment, len(splits))
+	err = runPool(j.Parallelism, len(splits), func(i int) error {
+		segs, err := runMapTask(j, fs, counters, i, splits[i])
+		mapSegs[i] = segs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Group segments by reduce partition and record shuffle flow sizes
+	// before reduce-side merging consumes the files.
+	byPart := make([][]segment, j.NumReduceTasks)
+	for _, segs := range mapSegs {
+		for _, s := range segs {
+			byPart[s.partition] = append(byPart[s.partition], s)
+		}
+	}
+	shufflePer := make([]int64, j.NumReduceTasks)
+	for p, segs := range byPart {
+		for _, s := range segs {
+			size, err := j.FS.Size(s.file)
+			if err != nil {
+				return nil, err
+			}
+			shufflePer[p] += size
+		}
+	}
+
+	// Reduce phase.
+	output := make([][]Record, j.NumReduceTasks)
+	taskTimes := make([]time.Duration, j.NumReduceTasks)
+	err = runPool(j.Parallelism, j.NumReduceTasks, func(p int) error {
+		taskStart := time.Now()
+		recs, err := runReduceTask(j, fs, counters, transport, p, byPart[p])
+		taskTimes[p] = time.Since(taskStart)
+		output[p] = recs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	stats := counters.Snapshot()
+	stats.DiskReadBytes = meter.ReadBytes()
+	stats.DiskWriteBytes = meter.WriteBytes()
+	stats.WallTime = time.Since(start)
+	return &Result{
+		Stats:               stats,
+		Output:              output,
+		ShufflePerPartition: shufflePer,
+		ReduceTaskTimes:     taskTimes,
+	}, nil
+}
+
+// runPool runs fn(0..n-1) with at most workers goroutines, returning the
+// first error encountered.
+func runPool(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// SortedOutput flattens a result's per-partition output into one slice,
+// partition by partition, for deterministic assertions in tests.
+func (r *Result) SortedOutput() []Record {
+	var out []Record
+	for _, part := range r.Output {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// FormatRecord renders a record for debugging.
+func FormatRecord(r Record) string {
+	return fmt.Sprintf("%q=%q", r.Key, r.Value)
+}

@@ -1,0 +1,57 @@
+package mr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/iokit"
+)
+
+// TestFaultInjectionSurfacesErrors sweeps injected I/O failures across
+// the whole pipeline — spill writes, merge reads, shuffle reads — and
+// requires every run to either succeed (failure point beyond the job's
+// I/O) or return an error wrapping the injected one. Never a panic,
+// never a silently wrong result.
+func TestFaultInjectionSurfacesErrors(t *testing.T) {
+	input := lines(strings.Repeat("fault injection words ", 300))
+	baseline, err := Run(jobForFaults(nil), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := outputMap(t, baseline)
+
+	for _, mode := range []string{"write", "read"} {
+		for n := int64(1); n <= 200; n += 7 {
+			flaky := &iokit.FlakyFS{Inner: iokit.NewMemFS()}
+			if mode == "write" {
+				flaky.FailWriteAt = n
+			} else {
+				flaky.FailReadAt = n
+			}
+			res, err := Run(jobForFaults(flaky), input)
+			if err != nil {
+				if !errors.Is(err, iokit.ErrInjected) {
+					t.Fatalf("%s@%d: error does not wrap injection: %v", mode, n, err)
+				}
+				continue
+			}
+			got := outputMap(t, res)
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("%s@%d: silent corruption: %q=%q want %q", mode, n, k, got[k], v)
+				}
+			}
+		}
+	}
+}
+
+func jobForFaults(fs iokit.FS) *Job {
+	job := wordCountJob(true)
+	job.SortBufferBytes = 2 << 10 // force spills and merges
+	job.Parallelism = 1
+	if fs != nil {
+		job.FS = fs
+	}
+	return job
+}

@@ -1,0 +1,180 @@
+package mr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/bytesx"
+	"repro/internal/iokit"
+)
+
+// LineSplit streams newline-separated records from a file: each line
+// becomes a (nil, line) record, like Hadoop's TextInputFormat (minus
+// byte offsets as keys, which no workload here uses).
+type LineSplit struct {
+	FS   iokit.FS
+	Name string
+}
+
+// Records implements Split.
+func (s *LineSplit) Records(fn func(key, value []byte) error) error {
+	f, err := s.FS.Open(s.Name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		if err := fn(nil, sc.Bytes()); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// RecordFileSplit streams length-framed (key, value) records written by
+// WriteRecordFile, the engine's SequenceFile analogue.
+type RecordFileSplit struct {
+	FS   iokit.FS
+	Name string
+}
+
+// Records implements Split.
+func (s *RecordFileSplit) Records(fn func(key, value []byte) error) error {
+	f, err := s.FS.Open(s.Name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bytesx.NewReader(f)
+	for {
+		k, v, err := r.ReadRecord()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(k, v); err != nil {
+			return err
+		}
+	}
+}
+
+// WriteRecordFile writes records as a framed record file readable by
+// RecordFileSplit.
+func WriteRecordFile(fs iokit.FS, name string, recs []Record) error {
+	f, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	w := bytesx.NewWriter(f)
+	for _, r := range recs {
+		if err := w.WriteRecord(r.Key, r.Value); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteLines writes newline-separated text readable by LineSplit.
+func WriteLines(fs iokit.FS, name string, lines []string) error {
+	f, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, l := range lines {
+		if _, err := w.WriteString(l); err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteOutput persists a job result as one framed record file per reduce
+// partition ("<prefix>/part-0000N"), returning the file names.
+func WriteOutput(fs iokit.FS, prefix string, res *Result) ([]string, error) {
+	names := make([]string, len(res.Output))
+	for p, recs := range res.Output {
+		name := fmt.Sprintf("%s/part-%05d", prefix, p)
+		if err := WriteRecordFile(fs, name, recs); err != nil {
+			return nil, err
+		}
+		names[p] = name
+	}
+	return names, nil
+}
+
+// FileSplits builds one split per file name, auto-detecting nothing:
+// framed=true uses RecordFileSplit, otherwise LineSplit.
+func FileSplits(fs iokit.FS, names []string, framed bool) []Split {
+	splits := make([]Split, len(names))
+	for i, n := range names {
+		if framed {
+			splits[i] = &RecordFileSplit{FS: fs, Name: n}
+		} else {
+			splits[i] = &LineSplit{FS: fs, Name: n}
+		}
+	}
+	return splits
+}
+
+// Iterate runs an iterative dataflow: build constructs the (possibly
+// wrapped) job for each round, and each round consumes the previous
+// round's output records. It returns the final result and the summed
+// stats of all rounds — the driver pattern PageRank-style jobs need.
+func Iterate(rounds int, initial []Record, splitsPer int, build func(round int) *Job) (*Result, Stats, error) {
+	var total Stats
+	recs := initial
+	var res *Result
+	for round := 0; round < rounds; round++ {
+		var err error
+		res, err = Run(build(round), SplitRecords(recs, splitsPer))
+		if err != nil {
+			return nil, total, fmt.Errorf("mr: iteration %d: %w", round, err)
+		}
+		addStats(&total, res.Stats)
+		recs = res.SortedOutput()
+	}
+	return res, total, nil
+}
+
+func addStats(dst *Stats, s Stats) {
+	dst.MapInputRecords += s.MapInputRecords
+	dst.MapOutputRecords += s.MapOutputRecords
+	dst.MapOutputBytes += s.MapOutputBytes
+	dst.ShuffleBytes += s.ShuffleBytes
+	dst.Spills += s.Spills
+	dst.CombineInputRecords += s.CombineInputRecords
+	dst.CombineOutputRecords += s.CombineOutputRecords
+	dst.ReduceInputRecords += s.ReduceInputRecords
+	dst.ReduceOutputRecords += s.ReduceOutputRecords
+	dst.DiskReadBytes += s.DiskReadBytes
+	dst.DiskWriteBytes += s.DiskWriteBytes
+	dst.MapCPU += s.MapCPU
+	dst.ReduceCPU += s.ReduceCPU
+	dst.WallTime += s.WallTime
+	if dst.Extra == nil {
+		dst.Extra = map[string]int64{}
+	}
+	for k, v := range s.Extra {
+		dst.Extra[k] += v
+	}
+}

@@ -1,0 +1,163 @@
+package mr
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/iokit"
+)
+
+func TestLineSplitRoundTrip(t *testing.T) {
+	fs := iokit.NewMemFS()
+	lines := []string{"first line", "second line", "", "fourth"}
+	if err := WriteLines(fs, "input.txt", lines); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	s := &LineSplit{FS: fs, Name: "input.txt"}
+	err := s.Records(func(k, v []byte) error {
+		if k != nil {
+			t.Error("line split keys should be nil")
+		}
+		got = append(got, string(v))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(lines) {
+		t.Fatalf("got %d lines, want %d", len(got), len(lines))
+	}
+	for i := range lines {
+		if got[i] != lines[i] {
+			t.Errorf("line %d: %q != %q", i, got[i], lines[i])
+		}
+	}
+}
+
+func TestLineSplitMissingFile(t *testing.T) {
+	s := &LineSplit{FS: iokit.NewMemFS(), Name: "missing"}
+	if err := s.Records(func(k, v []byte) error { return nil }); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestRecordFileRoundTrip(t *testing.T) {
+	fs := iokit.NewMemFS()
+	recs := []Record{
+		{Key: []byte("k1"), Value: []byte("v1")},
+		{Key: nil, Value: []byte("v2")},
+		{Key: []byte("k3"), Value: nil},
+	}
+	if err := WriteRecordFile(fs, "recs", recs); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	s := &RecordFileSplit{FS: fs, Name: "recs"}
+	err := s.Records(func(k, v []byte) error {
+		got = append(got, Record{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d records", len(got))
+	}
+	if string(got[0].Key) != "k1" || string(got[2].Key) != "k3" {
+		t.Error("key mismatch")
+	}
+}
+
+func TestJobFromFilesAndWriteOutput(t *testing.T) {
+	fs := iokit.NewMemFS()
+	for i := 0; i < 3; i++ {
+		err := WriteLines(fs, fmt.Sprintf("in/%d.txt", i),
+			[]string{strings.Repeat("file words count ", 50)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, _ := fs.List()
+	res, err := Run(wordCountJob(true), FileSplits(fs, names, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outputMap(t, res)["words"]; got != "150" {
+		t.Errorf("words = %s", got)
+	}
+
+	outFS := iokit.NewMemFS()
+	parts, err := WriteOutput(outFS, "out", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("parts = %v", parts)
+	}
+	// Read the output back through RecordFileSplit.
+	total := 0
+	for _, p := range parts {
+		s := &RecordFileSplit{FS: outFS, Name: p}
+		if err := s.Records(func(k, v []byte) error { total++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != 3 {
+		t.Errorf("output records = %d, want 3 distinct words", total)
+	}
+}
+
+func TestIterate(t *testing.T) {
+	// Each round doubles a counter per key.
+	initial := []Record{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("b"), Value: []byte("1")},
+	}
+	build := func(round int) *Job {
+		return &Job{
+			NewMapper: NewMapFunc(func(k, v []byte, out Emitter) error {
+				if err := out.Emit(k, v); err != nil {
+					return err
+				}
+				return out.Emit(k, v)
+			}),
+			NewReducer: NewReduceFunc(func(k []byte, vals ValueIter, out Emitter) error {
+				n := 0
+				for {
+					v, ok := vals.Next()
+					if !ok {
+						break
+					}
+					var x int
+					fmt.Sscanf(string(v), "%d", &x)
+					n += x
+				}
+				return out.Emit(k, []byte(fmt.Sprintf("%d", n)))
+			}),
+			NumReduceTasks: 2,
+		}
+	}
+	res, stats, err := Iterate(4, initial, 2, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := outputMap(t, res)
+	if got["a"] != "16" || got["b"] != "16" { // ×2 per round, 4 rounds
+		t.Errorf("final = %v, want 16s", got)
+	}
+	if stats.MapInputRecords != 8 { // 2 records × 4 rounds
+		t.Errorf("summed MapInputRecords = %d", stats.MapInputRecords)
+	}
+	if stats.WallTime <= 0 {
+		t.Error("summed WallTime should be positive")
+	}
+}
+
+func TestIterateError(t *testing.T) {
+	bad := func(round int) *Job { return &Job{} } // invalid: no mapper
+	if _, _, err := Iterate(1, nil, 1, bad); err == nil {
+		t.Error("invalid job should surface an error")
+	}
+}

@@ -1,0 +1,63 @@
+package mr
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func sumCombine(acc, v []byte) []byte {
+	a, _ := strconv.Atoi(string(acc))
+	b, _ := strconv.Atoi(string(v))
+	return []byte(strconv.Itoa(a + b))
+}
+
+func TestInMapperCombiningCorrectness(t *testing.T) {
+	base := wordCountJob(false)
+	input := lines(strings.Repeat("alpha beta gamma alpha ", 500))
+	plain, err := Run(base, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imc := wordCountJob(false)
+	imc.NewMapper = InMapperCombining(imc.NewMapper, sumCombine, 0)
+	combined, err := Run(imc, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := outputMap(t, combined), outputMap(t, plain)
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%q: %q != %q", k, got[k], v)
+		}
+	}
+	// The table collapses per-task duplicates, so far fewer records
+	// reach the framework.
+	if combined.Stats.MapOutputRecords*10 > plain.Stats.MapOutputRecords {
+		t.Errorf("in-mapper combining emitted %d records vs %d plain",
+			combined.Stats.MapOutputRecords, plain.Stats.MapOutputRecords)
+	}
+}
+
+func TestInMapperCombiningFlushesAtCapacity(t *testing.T) {
+	job := wordCountJob(false)
+	job.NewMapper = InMapperCombining(job.NewMapper, sumCombine, 2) // tiny table
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		sb.WriteString("w")
+		sb.WriteString(strconv.Itoa(i))
+		sb.WriteString(" ")
+	}
+	res, err := Run(job, lines(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(outputMap(t, res)); got != 100 {
+		t.Errorf("distinct words = %d, want 100", got)
+	}
+	// With capacity 2 and 100 distinct words, many flushes must occur,
+	// so the emission count stays near the raw count.
+	if res.Stats.MapOutputRecords < 90 {
+		t.Errorf("records = %d; tiny table should flush often", res.Stats.MapOutputRecords)
+	}
+}

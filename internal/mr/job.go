@@ -1,0 +1,109 @@
+package mr
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/bytesx"
+	"repro/internal/codec"
+	"repro/internal/iokit"
+)
+
+// Job configures one MapReduce execution. NewMapper / NewReducer /
+// NewCombiner are factories because each task gets a private instance
+// (tasks run concurrently and instances may hold per-task state).
+type Job struct {
+	// Name labels the job in file names and logs.
+	Name string
+	// NewMapper creates the Mapper for one map task. Required.
+	NewMapper func() Mapper
+	// NewReducer creates the Reducer for one reduce task. Required.
+	NewReducer func() Reducer
+	// NewCombiner, if set, creates the map-side combiner, run over
+	// sorted runs at spill time (and during multi-spill merges).
+	NewCombiner func() Reducer
+	// Partitioner routes keys to reduce tasks. Defaults to
+	// HashPartitioner.
+	Partitioner Partitioner
+	// NumReduceTasks is the number of reduce partitions. Defaults to 4.
+	NumReduceTasks int
+	// KeyCompare orders intermediate keys. Defaults to bytesx.Bytes.
+	KeyCompare bytesx.Compare
+	// GroupCompare decides which consecutive keys share a Reduce call
+	// (Hadoop's grouping comparator, e.g. for secondary sort). Defaults
+	// to KeyCompare.
+	GroupCompare bytesx.Compare
+	// Codec compresses map output on disk and over the shuffle.
+	// Defaults to codec.Identity.
+	Codec codec.Codec
+	// SortBufferBytes caps the map-side collect buffer before a spill.
+	// Defaults to 4 MiB.
+	SortBufferBytes int
+	// MergeFactor caps how many spill segments a single merge pass
+	// consumes. Defaults to 10.
+	MergeFactor int
+	// FS is the local "disk" for spills and map output segments.
+	// Defaults to a fresh in-memory filesystem.
+	FS iokit.FS
+	// Parallelism caps concurrently running tasks. Defaults to
+	// runtime.GOMAXPROCS(0).
+	Parallelism int
+	// TCPShuffle routes the shuffle through a real loopback TCP
+	// listener (map output segments are served over sockets and copied
+	// to reducer-local files before merging, like Hadoop's fetch phase)
+	// instead of direct filesystem reads.
+	TCPShuffle bool
+	// Deterministic declares that Map and Partitioner are deterministic
+	// functions of their inputs. When false, Anti-Combining disables
+	// LazySH (paper §6.2). The engine itself does not use it.
+	Deterministic bool
+	// CollectOutput controls whether reduce output records are gathered
+	// into Result.Output. Defaults to true; large jobs can disable it.
+	DiscardOutput bool
+}
+
+// errJob reports an invalid job configuration.
+var errJob = errors.New("mr: invalid job")
+
+// normalized returns a defaulted copy of j, validating required fields.
+func (j *Job) normalized() (*Job, error) {
+	if j.NewMapper == nil {
+		return nil, fmt.Errorf("%w: NewMapper is required", errJob)
+	}
+	if j.NewReducer == nil {
+		return nil, fmt.Errorf("%w: NewReducer is required", errJob)
+	}
+	c := *j
+	if c.Name == "" {
+		c.Name = "job"
+	}
+	if c.Partitioner == nil {
+		c.Partitioner = HashPartitioner{}
+	}
+	if c.NumReduceTasks <= 0 {
+		c.NumReduceTasks = 4
+	}
+	if c.KeyCompare == nil {
+		c.KeyCompare = bytesx.Bytes
+	}
+	if c.GroupCompare == nil {
+		c.GroupCompare = c.KeyCompare
+	}
+	if c.Codec == nil {
+		c.Codec = codec.Identity{}
+	}
+	if c.SortBufferBytes <= 0 {
+		c.SortBufferBytes = 4 << 20
+	}
+	if c.MergeFactor < 2 {
+		c.MergeFactor = 10
+	}
+	if c.FS == nil {
+		c.FS = iokit.NewMemFS()
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &c, nil
+}

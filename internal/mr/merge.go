@@ -1,0 +1,216 @@
+package mr
+
+import (
+	"container/heap"
+	"errors"
+	"io"
+
+	"repro/internal/bytesx"
+)
+
+// recordStream yields framed records in key order. Implementations
+// return io.EOF after the last record; returned slices are valid until
+// the next call on the same stream.
+type recordStream interface {
+	next() (key, value []byte, err error)
+}
+
+// readerStream adapts a bytesx.Reader (over a spill or segment file).
+type readerStream struct {
+	r     *bytesx.Reader
+	close func() error
+}
+
+func (s *readerStream) next() ([]byte, []byte, error) {
+	k, v, err := s.r.ReadRecord()
+	if errors.Is(err, io.EOF) && s.close != nil {
+		cerr := s.close()
+		s.close = nil
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+	}
+	return k, v, err
+}
+
+// mergeIter merges multiple sorted record streams into one sorted
+// stream, breaking key ties by stream index so merging is deterministic
+// and stable.
+type mergeIter struct {
+	items mergeHeap
+	err   error
+}
+
+type mergeItem struct {
+	key, value []byte
+	stream     recordStream
+	index      int
+}
+
+type mergeHeap struct {
+	items []*mergeItem
+	cmp   bytesx.Compare
+}
+
+func (h mergeHeap) Len() int { return len(h.items) }
+func (h mergeHeap) Less(i, j int) bool {
+	c := h.cmp(h.items[i].key, h.items[j].key)
+	if c != 0 {
+		return c < 0
+	}
+	return h.items[i].index < h.items[j].index
+}
+func (h mergeHeap) Swap(i, j int)       { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(*mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// newMergeIter primes one heap entry per non-empty stream.
+func newMergeIter(streams []recordStream, cmp bytesx.Compare) (*mergeIter, error) {
+	m := &mergeIter{items: mergeHeap{cmp: cmp}}
+	for i, s := range streams {
+		k, v, err := s.next()
+		if errors.Is(err, io.EOF) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.items.items = append(m.items.items, &mergeItem{
+			key:    bytesx.Clone(k),
+			value:  bytesx.Clone(v),
+			stream: s,
+			index:  i,
+		})
+	}
+	heap.Init(&m.items)
+	return m, nil
+}
+
+// next returns the globally smallest record, or io.EOF. The returned
+// slices are valid until the following call.
+func (m *mergeIter) next() ([]byte, []byte, error) {
+	if m.err != nil {
+		return nil, nil, m.err
+	}
+	if m.items.Len() == 0 {
+		return nil, nil, io.EOF
+	}
+	top := m.items.items[0]
+	key, value := top.key, top.value
+	// Advance the winning stream and restore the heap. The popped
+	// key/value are handed to the caller, so fresh buffers are cloned
+	// for the stream's next record.
+	k, v, err := top.stream.next()
+	if errors.Is(err, io.EOF) {
+		heap.Pop(&m.items)
+	} else if err != nil {
+		m.err = err
+		return nil, nil, err
+	} else {
+		top.key = bytesx.Clone(k)
+		top.value = bytesx.Clone(v)
+		heap.Fix(&m.items, 0)
+	}
+	return key, value, nil
+}
+
+// groupedIter walks a merged stream one key group at a time, where a
+// group is a maximal run of keys equal under groupCmp. It backs the
+// ValueIter handed to Reduce calls.
+type groupedIter struct {
+	m        *mergeIter
+	groupCmp bytesx.Compare
+
+	pendingKey []byte
+	pendingVal []byte
+	hasPending bool
+	done       bool
+	err        error
+}
+
+func newGroupedIter(m *mergeIter, groupCmp bytesx.Compare) *groupedIter {
+	return &groupedIter{m: m, groupCmp: groupCmp}
+}
+
+// nextGroup positions the iterator at the next key group, returning its
+// (cloned) first key, or false when the stream is exhausted.
+func (g *groupedIter) nextGroup() ([]byte, bool, error) {
+	if g.err != nil || g.done {
+		return nil, false, g.err
+	}
+	if !g.hasPending {
+		k, v, err := g.m.next()
+		if errors.Is(err, io.EOF) {
+			g.done = true
+			return nil, false, nil
+		}
+		if err != nil {
+			g.err = err
+			return nil, false, err
+		}
+		g.pendingKey, g.pendingVal = k, v
+		g.hasPending = true
+	}
+	return bytesx.Clone(g.pendingKey), true, nil
+}
+
+// groupValues returns the ValueIter over the current group. It must be
+// drained (or abandoned via drain) before nextGroup is called again.
+func (g *groupedIter) groupValues(groupKey []byte) *groupValueIter {
+	return &groupValueIter{g: g, key: groupKey}
+}
+
+type groupValueIter struct {
+	g   *groupedIter
+	key []byte
+}
+
+// Next implements ValueIter.
+func (it *groupValueIter) Next() ([]byte, bool) {
+	g := it.g
+	if g.err != nil {
+		return nil, false
+	}
+	if g.hasPending {
+		if g.groupCmp(g.pendingKey, it.key) != 0 {
+			return nil, false
+		}
+		// pendingVal is a private clone, safe to hand out.
+		v := g.pendingVal
+		g.hasPending = false
+		g.pendingVal = nil
+		return v, true
+	}
+	k, v, err := g.m.next()
+	if errors.Is(err, io.EOF) {
+		g.done = true
+		return nil, false
+	}
+	if err != nil {
+		g.err = err
+		return nil, false
+	}
+	if g.groupCmp(k, it.key) != 0 {
+		g.pendingKey = bytesx.Clone(k)
+		g.pendingVal = bytesx.Clone(v)
+		g.hasPending = true
+		return nil, false
+	}
+	return v, true
+}
+
+// drain consumes any unread values of the group so the parent iterator
+// can move on even when Reduce did not exhaust its input.
+func (it *groupValueIter) drain() error {
+	for {
+		if _, ok := it.Next(); !ok {
+			return it.g.err
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package mr
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// BenchmarkWordCountPipeline drives the full engine — collect, sort,
+// spill, shuffle, merge, reduce — on a medium word-count job.
+func BenchmarkWordCountPipeline(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, "word%03d ", i%50)
+	}
+	line := sb.String()
+	var splits []Split
+	for i := 0; i < 8; i++ {
+		recs := make([]Record, 100)
+		for j := range recs {
+			recs[j] = Record{Value: []byte(line)}
+		}
+		splits = append(splits, &MemSplit{Recs: recs})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		job := wordCountJob(true)
+		job.DiscardOutput = true
+		if _, err := Run(job, splits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapBufferSpill isolates the map-side sort-and-spill path.
+func BenchmarkMapBufferSpill(b *testing.B) {
+	job := wordCountJob(false)
+	job.SortBufferBytes = 64 << 10
+	j, err := job.normalized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([][]byte, 1000)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key%06d", (i*7919)%1000))
+	}
+	value := []byte("v")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		counters := &Counters{}
+		buf := newMapBuffer(j, j.FS, counters, 0)
+		for rep := 0; rep < 20; rep++ {
+			for _, k := range keys {
+				if err := buf.add(int(k[len(k)-1]&3), k, value); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if _, err := buf.finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergeIter isolates the k-way merge.
+func BenchmarkMergeIter(b *testing.B) {
+	mkStream := func(seed int) recordStream {
+		i := 0
+		return streamFunc(func() ([]byte, []byte, error) {
+			if i >= 1000 {
+				return nil, nil, io.EOF
+			}
+			k := []byte(fmt.Sprintf("k%06d", i*16+seed))
+			i++
+			return k, k, nil
+		})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		streams := make([]recordStream, 16)
+		for s := range streams {
+			streams[s] = mkStream(s)
+		}
+		m, err := newMergeIter(streams, func(a, b []byte) int {
+			return stringsCompare(string(a), string(b))
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := drainStreams(mergeAsStream{m}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type mergeAsStream struct{ m *mergeIter }
+
+func (s mergeAsStream) next() ([]byte, []byte, error) { return s.m.next() }
+
+func stringsCompare(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}

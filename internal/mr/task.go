@@ -1,0 +1,202 @@
+package mr
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bytesx"
+	"repro/internal/iokit"
+)
+
+// runMapTask executes one map task: run the Mapper over the split,
+// collect/sort/spill its output, and return the final per-partition
+// segments. The task's single-threaded wall time is charged as map CPU.
+func runMapTask(job *Job, fs iokit.FS, counters *Counters, taskID int, split Split) ([]segment, error) {
+	start := time.Now()
+	defer func() { counters.mapTaskNs.Add(time.Since(start).Nanoseconds()) }()
+
+	buf := newMapBuffer(job, fs, counters, taskID)
+	mapper := job.NewMapper()
+	info := &TaskInfo{
+		JobName:       job.Name,
+		TaskID:        taskID,
+		Partition:     -1,
+		NumPartitions: job.NumReduceTasks,
+		Partitioner:   job.Partitioner,
+		KeyCompare:    job.KeyCompare,
+		GroupCompare:  job.GroupCompare,
+		Counters:      counters,
+		FS:            fs,
+	}
+	out := EmitterFunc(func(k, v []byte) error {
+		counters.mapOutputRecords.Add(1)
+		counters.mapOutputBytes.Add(int64(bytesx.RecordLen(k, v)))
+		p := job.Partitioner.Partition(k, job.NumReduceTasks)
+		if p < 0 || p >= job.NumReduceTasks {
+			return fmt.Errorf("mr: partitioner returned %d for %d partitions", p, job.NumReduceTasks)
+		}
+		return buf.add(p, k, v)
+	})
+	if err := mapper.Setup(info, out); err != nil {
+		return nil, fmt.Errorf("mr: map task %d setup: %w", taskID, err)
+	}
+	err := split.Records(func(k, v []byte) error {
+		counters.mapInputRecords.Add(1)
+		return mapper.Map(k, v, out)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mr: map task %d: %w", taskID, err)
+	}
+	if err := mapper.Cleanup(out); err != nil {
+		return nil, fmt.Errorf("mr: map task %d cleanup: %w", taskID, err)
+	}
+	segs, err := buf.finish()
+	if err != nil {
+		return nil, fmt.Errorf("mr: map task %d spill/merge: %w", taskID, err)
+	}
+	return segs, nil
+}
+
+// runReduceTask executes one reduce task: fetch the partition's segments
+// from every map task (the shuffle — every fetched byte is metered as
+// transfer), merge them in key order, and invoke Reduce per key group.
+func runReduceTask(job *Job, fs iokit.FS, counters *Counters, transport Transport, partition int, segs []segment) ([]Record, error) {
+	start := time.Now()
+	defer func() { counters.reduceTaskNs.Add(time.Since(start).Nanoseconds()) }()
+
+	for _, s := range segs {
+		size, err := fs.Size(s.file)
+		if err != nil {
+			return nil, err
+		}
+		counters.shuffleBytes.Add(size)
+		counters.reduceInRecords.Add(s.records)
+	}
+
+	// A non-local transport first copies each segment to a reducer-local
+	// file through the real network path (Hadoop's fetch phase).
+	if _, local := transport.(LocalTransport); !local {
+		fetched, err := fetchSegments(fs, counters, transport, job, partition, segs)
+		if err != nil {
+			return nil, err
+		}
+		segs = fetched
+	}
+
+	// A very wide shuffle is first merged down on "disk" so the final
+	// streaming merge stays within the merge factor (Hadoop's
+	// reduce-side merge).
+	if len(segs) > job.MergeFactor {
+		merged, err := mergeSegments(job, fs, counters,
+			fmt.Sprintf("%s/r%04d/merged", job.Name, partition),
+			partition, segs, false, partition)
+		if err != nil {
+			return nil, err
+		}
+		segs = []segment{merged}
+	}
+
+	streams := make([]recordStream, len(segs))
+	for i, s := range segs {
+		st, err := openSegment(job, fs, s)
+		if err != nil {
+			return nil, err
+		}
+		streams[i] = st
+	}
+	merged, err := newMergeIter(streams, job.KeyCompare)
+	if err != nil {
+		return nil, err
+	}
+	grouped := newGroupedIter(merged, job.GroupCompare)
+
+	reducer := job.NewReducer()
+	info := &TaskInfo{
+		JobName:       job.Name,
+		TaskID:        partition,
+		Partition:     partition,
+		NumPartitions: job.NumReduceTasks,
+		Partitioner:   job.Partitioner,
+		KeyCompare:    job.KeyCompare,
+		GroupCompare:  job.GroupCompare,
+		Counters:      counters,
+		FS:            fs,
+	}
+	var output []Record
+	out := EmitterFunc(func(k, v []byte) error {
+		counters.reduceOutRecords.Add(1)
+		if !job.DiscardOutput {
+			output = append(output, Record{Key: bytesx.Clone(k), Value: bytesx.Clone(v)})
+		}
+		return nil
+	})
+	if err := reducer.Setup(info, out); err != nil {
+		return nil, fmt.Errorf("mr: reduce task %d setup: %w", partition, err)
+	}
+	for {
+		key, ok, err := grouped.nextGroup()
+		if err != nil {
+			return nil, fmt.Errorf("mr: reduce task %d merge: %w", partition, err)
+		}
+		if !ok {
+			break
+		}
+		vi := grouped.groupValues(key)
+		if err := reducer.Reduce(key, vi, out); err != nil {
+			return nil, fmt.Errorf("mr: reduce task %d: %w", partition, err)
+		}
+		if err := vi.drain(); err != nil {
+			return nil, fmt.Errorf("mr: reduce task %d drain: %w", partition, err)
+		}
+	}
+	if err := reducer.Cleanup(out); err != nil {
+		return nil, fmt.Errorf("mr: reduce task %d cleanup: %w", partition, err)
+	}
+	return output, nil
+}
+
+// fetchSegments copies remote segments to reducer-local files over the
+// transport, returning local replacements.
+func fetchSegments(fs iokit.FS, counters *Counters, transport Transport, job *Job, partition int, segs []segment) ([]segment, error) {
+	local := make([]segment, len(segs))
+	for i, s := range segs {
+		rc, size, err := transport.Fetch(fs, s.file)
+		if err != nil {
+			return nil, fmt.Errorf("mr: reduce task %d fetching %s: %w", partition, s.file, err)
+		}
+		name := fmt.Sprintf("%s/r%04d/fetch%04d", job.Name, partition, i)
+		f, err := fs.Create(name)
+		if err != nil {
+			rc.Close()
+			return nil, err
+		}
+		n, err := io.Copy(f, rc)
+		rc.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mr: reduce task %d copying %s: %w", partition, s.file, err)
+		}
+		if n != size {
+			return nil, fmt.Errorf("mr: reduce task %d fetched %d bytes of %s, want %d", partition, n, s.file, size)
+		}
+		local[i] = segment{partition: partition, file: name, records: s.records, rawBytes: s.rawBytes}
+	}
+	return local, nil
+}
+
+// drainStreams is a helper for tests: it fully reads a record stream.
+func drainStreams(s recordStream) (n int, err error) {
+	for {
+		_, _, err := s.next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}

@@ -1,0 +1,214 @@
+package mr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/iokit"
+)
+
+// Transport is how reduce tasks fetch map output segments. The default
+// LocalTransport reads them straight from the task filesystem (the
+// single-process analogue of a local fetch); TCPTransport serves them
+// over a real localhost socket, exercising a genuine network path like
+// Hadoop's shuffle ServletFetcher.
+type Transport interface {
+	// Fetch opens a segment for reading and reports its transfer size.
+	Fetch(fs iokit.FS, name string) (io.ReadCloser, int64, error)
+	// Close releases transport resources after the job completes.
+	Close() error
+}
+
+// LocalTransport fetches segments directly from the filesystem.
+type LocalTransport struct{}
+
+// Fetch implements Transport.
+func (LocalTransport) Fetch(fs iokit.FS, name string) (io.ReadCloser, int64, error) {
+	size, err := fs.Size(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	r, err := fs.Open(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r, size, nil
+}
+
+// Close implements Transport.
+func (LocalTransport) Close() error { return nil }
+
+// TCPTransport serves segment files over a loopback TCP listener and
+// fetches them through real sockets. Protocol per connection: the
+// client sends a uvarint-length-prefixed file name; the server replies
+// with a uvarint byte count followed by the file contents, or a zero
+// count and a length-prefixed error string.
+type TCPTransport struct {
+	fs iokit.FS
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewTCPTransport starts a loopback listener serving fs.
+func NewTCPTransport(fs iokit.FS) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	t := &TCPTransport{fs: fs, ln: ln}
+	t.wg.Add(1)
+	go t.serve()
+	return t, nil
+}
+
+// Addr reports the listener address (tests and diagnostics).
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCPTransport) serve() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer conn.Close()
+			t.handle(conn)
+		}()
+	}
+}
+
+func (t *TCPTransport) handle(conn net.Conn) {
+	name, err := readLenPrefixed(conn)
+	if err != nil {
+		return
+	}
+	size, err := t.fs.Size(string(name))
+	if err != nil {
+		writeError(conn, err)
+		return
+	}
+	f, err := t.fs.Open(string(name))
+	if err != nil {
+		writeError(conn, err)
+		return
+	}
+	defer f.Close()
+	hdr := binary.AppendUvarint(nil, uint64(size)+1) // size+1: 0 means error
+	if _, err := conn.Write(hdr); err != nil {
+		return
+	}
+	io.CopyN(conn, f, size)
+}
+
+func writeError(conn net.Conn, err error) {
+	buf := binary.AppendUvarint(nil, 0)
+	buf = binary.AppendUvarint(buf, uint64(len(err.Error())))
+	buf = append(buf, err.Error()...)
+	conn.Write(buf)
+}
+
+func readLenPrefixed(r io.Reader) ([]byte, error) {
+	br := &byteReader{r: r}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, errors.New("mr: transport frame too large")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+type byteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}
+
+// Fetch implements Transport: it dials the loopback server and streams
+// the segment over the socket.
+func (t *TCPTransport) Fetch(_ iokit.FS, name string) (io.ReadCloser, int64, error) {
+	conn, err := net.Dial("tcp", t.ln.Addr().String())
+	if err != nil {
+		return nil, 0, err
+	}
+	req := binary.AppendUvarint(nil, uint64(len(name)))
+	req = append(req, name...)
+	if _, err := conn.Write(req); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	br := &byteReader{r: conn}
+	sizePlus, err := binary.ReadUvarint(br)
+	if err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	if sizePlus == 0 {
+		msg, err := readLenPrefixed(conn)
+		conn.Close()
+		if err != nil {
+			return nil, 0, fmt.Errorf("mr: shuffle fetch failed: %w", err)
+		}
+		return nil, 0, fmt.Errorf("mr: shuffle fetch %s: %s", name, msg)
+	}
+	size := int64(sizePlus - 1)
+	return &fetchReader{conn: conn, remaining: size}, size, nil
+}
+
+type fetchReader struct {
+	conn      net.Conn
+	remaining int64
+}
+
+func (f *fetchReader) Read(p []byte) (int, error) {
+	if f.remaining <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > f.remaining {
+		p = p[:f.remaining]
+	}
+	n, err := f.conn.Read(p)
+	f.remaining -= int64(n)
+	if err == nil && f.remaining == 0 {
+		return n, nil
+	}
+	return n, err
+}
+
+func (f *fetchReader) Close() error { return f.conn.Close() }
+
+// Close implements Transport: stops the listener and waits for in-flight
+// connections.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,155 @@
+package mr
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/iokit"
+)
+
+func TestTCPTransportFetch(t *testing.T) {
+	fs := iokit.NewMemFS()
+	w, _ := fs.Create("seg1")
+	payload := strings.Repeat("segment data ", 1000)
+	w.Write([]byte(payload))
+	w.Close()
+
+	tr, err := NewTCPTransport(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.Addr() == "" {
+		t.Error("Addr should be set")
+	}
+
+	rc, size, err := tr.Fetch(fs, "seg1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(len(payload)) {
+		t.Errorf("size = %d, want %d", size, len(payload))
+	}
+	got, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+	if string(got) != payload {
+		t.Error("payload mismatch over TCP")
+	}
+}
+
+func TestTCPTransportMissingFile(t *testing.T) {
+	fs := iokit.NewMemFS()
+	tr, err := NewTCPTransport(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, _, err := tr.Fetch(fs, "nope"); err == nil {
+		t.Error("missing file should produce a fetch error")
+	}
+}
+
+func TestTCPTransportConcurrentFetches(t *testing.T) {
+	fs := iokit.NewMemFS()
+	for _, name := range []string{"a", "b", "c", "d"} {
+		w, _ := fs.Create(name)
+		w.Write([]byte(strings.Repeat(name, 5000)))
+		w.Close()
+	}
+	tr, err := NewTCPTransport(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		name := string(rune('a' + i%4))
+		go func() {
+			rc, size, err := tr.Fetch(fs, name)
+			if err != nil {
+				errs <- err
+				return
+			}
+			data, err := io.ReadAll(rc)
+			rc.Close()
+			if err == nil && int64(len(data)) != size {
+				err = io.ErrUnexpectedEOF
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("concurrent fetch: %v", err)
+		}
+	}
+}
+
+func TestTCPTransportDoubleClose(t *testing.T) {
+	tr, err := NewTCPTransport(iokit.NewMemFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestLocalTransport(t *testing.T) {
+	fs := iokit.NewMemFS()
+	w, _ := fs.Create("f")
+	w.Write([]byte("data"))
+	w.Close()
+	rc, size, err := LocalTransport{}.Fetch(fs, "f")
+	if err != nil || size != 4 {
+		t.Fatalf("Fetch: size=%d err=%v", size, err)
+	}
+	got, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(got) != "data" {
+		t.Error("local fetch mismatch")
+	}
+	if err := (LocalTransport{}).Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJobOverTCPShuffle(t *testing.T) {
+	mk := func(tcp bool) *Job {
+		job := wordCountJob(true)
+		job.TCPShuffle = tcp
+		return job
+	}
+	input := lines(strings.Repeat("network shuffle words ", 500))
+	local, err := Run(mk(false), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	networked, err := Run(mk(true), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := outputMap(t, networked), outputMap(t, local)
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %q: tcp %q, local %q", k, got[k], v)
+		}
+	}
+	// The fetch phase copies segments to reducer-local files, so the
+	// TCP run writes strictly more to disk (Hadoop-like behavior).
+	if networked.Stats.DiskWriteBytes <= local.Stats.DiskWriteBytes {
+		t.Errorf("tcp disk writes %d should exceed local %d",
+			networked.Stats.DiskWriteBytes, local.Stats.DiskWriteBytes)
+	}
+	if networked.Stats.ShuffleBytes != local.Stats.ShuffleBytes {
+		t.Errorf("shuffle accounting differs: %d vs %d",
+			networked.Stats.ShuffleBytes, local.Stats.ShuffleBytes)
+	}
+}

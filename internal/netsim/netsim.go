@@ -1,0 +1,205 @@
+// Package netsim provides a synthetic network evaluation for the
+// shuffle phase: a max-min fair-share model of a cluster of nodes
+// attached to one shared switch, the configuration of the paper's
+// testbed ("all machines are directly connected to the same Gigabit
+// network switch"). Given the shuffle's flows it computes transfer
+// completion times under three capacity constraints — each source NIC's
+// egress, each destination NIC's ingress, and the switch backplane —
+// using progressive filling. The cost model uses it to turn measured
+// shuffle bytes into estimated network time, which is how this
+// reproduction regenerates the paper's runtime comparisons without
+// physical machines.
+package netsim
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// Flow is one mapper-to-reducer transfer.
+type Flow struct {
+	// Src and Dst are node indices.
+	Src, Dst int
+	// Bytes is the transfer size.
+	Bytes int64
+}
+
+// Network describes the shared-switch fabric.
+type Network struct {
+	// Nodes is the machine count.
+	Nodes int
+	// NICBps is each node's link speed in bytes/second, applied
+	// independently to egress and ingress (full duplex).
+	NICBps float64
+	// BackplaneBps caps the switch's aggregate forwarding rate in
+	// bytes/second. Zero means non-blocking.
+	BackplaneBps float64
+}
+
+// Gigabit builds the paper's fabric: n nodes on one non-blocking
+// gigabit switch.
+func Gigabit(n int) Network {
+	return Network{Nodes: n, NICBps: 1e9 / 8}
+}
+
+// ErrBadFlow reports a flow referencing an unknown node.
+var ErrBadFlow = errors.New("netsim: flow references unknown node")
+
+// Makespan simulates all flows starting simultaneously and returns the
+// time until the last one completes under max-min fair sharing.
+func (n Network) Makespan(flows []Flow) (time.Duration, error) {
+	remaining := make([]float64, len(flows))
+	active := 0
+	for i, f := range flows {
+		if f.Src < 0 || f.Src >= n.Nodes || f.Dst < 0 || f.Dst >= n.Nodes {
+			return 0, ErrBadFlow
+		}
+		if f.Bytes > 0 {
+			remaining[i] = float64(f.Bytes)
+			active++
+		}
+	}
+	elapsed := 0.0
+	for active > 0 {
+		rates := n.fairRates(flows, remaining)
+		// Advance to the earliest completion among active flows.
+		step := math.Inf(1)
+		for i := range flows {
+			if remaining[i] > 0 && rates[i] > 0 {
+				if t := remaining[i] / rates[i]; t < step {
+					step = t
+				}
+			}
+		}
+		if math.IsInf(step, 1) {
+			return 0, errors.New("netsim: no progress (zero capacity?)")
+		}
+		elapsed += step
+		for i := range flows {
+			if remaining[i] <= 0 {
+				continue
+			}
+			remaining[i] -= rates[i] * step
+			if remaining[i] < 1e-6 {
+				remaining[i] = 0
+				active--
+			}
+		}
+	}
+	return time.Duration(elapsed * float64(time.Second)), nil
+}
+
+// fairRates computes max-min fair rates for the active flows under the
+// egress, ingress, and backplane constraints by progressive filling:
+// repeatedly find the tightest constraint, freeze its flows at the fair
+// share, and release the capacity they consume elsewhere.
+func (n Network) fairRates(flows []Flow, remaining []float64) []float64 {
+	type constraint struct {
+		capacity float64
+		members  []int
+	}
+	var cons []constraint
+	egress := make([]constraint, n.Nodes)
+	ingress := make([]constraint, n.Nodes)
+	for i := range egress {
+		egress[i].capacity = n.NICBps
+		ingress[i].capacity = n.NICBps
+	}
+	backplane := constraint{capacity: n.BackplaneBps}
+	for i, f := range flows {
+		if remaining[i] <= 0 {
+			continue
+		}
+		// Local traffic does not cross the network.
+		if f.Src == f.Dst {
+			continue
+		}
+		egress[f.Src].members = append(egress[f.Src].members, i)
+		ingress[f.Dst].members = append(ingress[f.Dst].members, i)
+		backplane.members = append(backplane.members, i)
+	}
+	for i := range egress {
+		if len(egress[i].members) > 0 {
+			cons = append(cons, egress[i])
+		}
+		if len(ingress[i].members) > 0 {
+			cons = append(cons, ingress[i])
+		}
+	}
+	if n.BackplaneBps > 0 && len(backplane.members) > 0 {
+		cons = append(cons, backplane)
+	}
+
+	rates := make([]float64, len(flows))
+	// Local flows transfer at (effectively) memory speed; model them as
+	// one NIC's worth so they still take nonzero time.
+	for i, f := range flows {
+		if remaining[i] > 0 && f.Src == f.Dst {
+			rates[i] = n.NICBps
+		}
+	}
+	frozen := make([]bool, len(flows))
+	for {
+		// Tightest constraint: smallest capacity / unfrozen member count.
+		best, bestShare := -1, math.Inf(1)
+		for ci := range cons {
+			unfrozen := 0
+			used := 0.0
+			for _, fi := range cons[ci].members {
+				if frozen[fi] {
+					used += rates[fi]
+				} else {
+					unfrozen++
+				}
+			}
+			if unfrozen == 0 {
+				continue
+			}
+			share := (cons[ci].capacity - used) / float64(unfrozen)
+			if share < bestShare {
+				bestShare = share
+				best = ci
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if bestShare < 0 {
+			bestShare = 0
+		}
+		for _, fi := range cons[best].members {
+			if !frozen[fi] {
+				frozen[fi] = true
+				rates[fi] = bestShare
+			}
+		}
+	}
+	return rates
+}
+
+// ShuffleFlows spreads per-reduce-partition shuffle volumes over a
+// cluster: partition p's reducer runs on node p mod Nodes and pulls an
+// equal share of its bytes from every node (map tasks are uniformly
+// spread in a balanced job).
+func (n Network) ShuffleFlows(perPartition []int64) []Flow {
+	var flows []Flow
+	for p, total := range perPartition {
+		if total <= 0 {
+			continue
+		}
+		dst := p % n.Nodes
+		share := total / int64(n.Nodes)
+		rem := total - share*int64(n.Nodes)
+		for src := 0; src < n.Nodes; src++ {
+			b := share
+			if src == 0 {
+				b += rem
+			}
+			if b > 0 {
+				flows = append(flows, Flow{Src: src, Dst: dst, Bytes: b})
+			}
+		}
+	}
+	return flows
+}

@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+func TestSingleFlowNICBound(t *testing.T) {
+	n := Network{Nodes: 2, NICBps: 100}
+	d, err := n.Makespan([]Flow{{Src: 0, Dst: 1, Bytes: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(seconds(d)-10) > 0.01 {
+		t.Errorf("makespan = %v, want 10s", d)
+	}
+}
+
+func TestTwoFlowsShareEgress(t *testing.T) {
+	// Both flows leave node 0: each gets half the NIC.
+	n := Network{Nodes: 3, NICBps: 100}
+	d, err := n.Makespan([]Flow{
+		{Src: 0, Dst: 1, Bytes: 500},
+		{Src: 0, Dst: 2, Bytes: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(seconds(d)-10) > 0.01 {
+		t.Errorf("makespan = %v, want 10s (50 Bps each)", d)
+	}
+}
+
+func TestShorterFlowReleasesCapacity(t *testing.T) {
+	// Flow B finishes at t=2 (rate 50); flow A then speeds up to 100:
+	// 500 bytes total = 100 at t=2, then 400 more at 100 Bps -> t=6.
+	n := Network{Nodes: 3, NICBps: 100}
+	d, err := n.Makespan([]Flow{
+		{Src: 0, Dst: 1, Bytes: 500},
+		{Src: 0, Dst: 2, Bytes: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(seconds(d)-6) > 0.01 {
+		t.Errorf("makespan = %v, want 6s", d)
+	}
+}
+
+func TestIngressContention(t *testing.T) {
+	// Two sources into one destination NIC: shared 100 Bps.
+	n := Network{Nodes: 3, NICBps: 100}
+	d, err := n.Makespan([]Flow{
+		{Src: 0, Dst: 2, Bytes: 500},
+		{Src: 1, Dst: 2, Bytes: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(seconds(d)-10) > 0.01 {
+		t.Errorf("makespan = %v, want 10s", d)
+	}
+}
+
+func TestBackplaneLimit(t *testing.T) {
+	// Four disjoint flows, each could do 100, but the backplane caps the
+	// aggregate at 200 -> 50 each.
+	n := Network{Nodes: 8, NICBps: 100, BackplaneBps: 200}
+	flows := []Flow{
+		{Src: 0, Dst: 1, Bytes: 500},
+		{Src: 2, Dst: 3, Bytes: 500},
+		{Src: 4, Dst: 5, Bytes: 500},
+		{Src: 6, Dst: 7, Bytes: 500},
+	}
+	d, err := n.Makespan(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(seconds(d)-10) > 0.01 {
+		t.Errorf("makespan = %v, want 10s", d)
+	}
+}
+
+func TestLocalFlowBypassesNetwork(t *testing.T) {
+	n := Network{Nodes: 2, NICBps: 100}
+	d, err := n.Makespan([]Flow{
+		{Src: 0, Dst: 0, Bytes: 1000}, // local
+		{Src: 0, Dst: 1, Bytes: 1000}, // remote, full NIC
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(seconds(d)-10) > 0.01 {
+		t.Errorf("makespan = %v, want 10s (local flow must not contend)", d)
+	}
+}
+
+func TestEmptyAndZeroFlows(t *testing.T) {
+	n := Gigabit(4)
+	d, err := n.Makespan(nil)
+	if err != nil || d != 0 {
+		t.Errorf("empty: %v, %v", d, err)
+	}
+	d, err = n.Makespan([]Flow{{Src: 0, Dst: 1, Bytes: 0}})
+	if err != nil || d != 0 {
+		t.Errorf("zero bytes: %v, %v", d, err)
+	}
+}
+
+func TestBadFlow(t *testing.T) {
+	n := Gigabit(2)
+	if _, err := n.Makespan([]Flow{{Src: 0, Dst: 5, Bytes: 1}}); err == nil {
+		t.Error("out-of-range node should error")
+	}
+}
+
+func TestMoreBytesTakeLonger(t *testing.T) {
+	n := Gigabit(11)
+	small := n.ShuffleFlows([]int64{1 << 20, 1 << 20, 1 << 20})
+	large := n.ShuffleFlows([]int64{100 << 20, 100 << 20, 100 << 20})
+	ds, err := n.Makespan(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := n.Makespan(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl < ds*50 {
+		t.Errorf("100x bytes took %v vs %v; want ~100x", dl, ds)
+	}
+}
+
+func TestShuffleFlowsConserveBytes(t *testing.T) {
+	n := Gigabit(5)
+	per := []int64{1000, 0, 777, 123456}
+	flows := n.ShuffleFlows(per)
+	var want, got int64
+	for _, b := range per {
+		want += b
+	}
+	for _, f := range flows {
+		got += f.Bytes
+	}
+	if got != want {
+		t.Errorf("flows carry %d bytes, want %d", got, want)
+	}
+}

@@ -1,0 +1,60 @@
+// Package cpuwork adds the synthetic CPU load of §7.6: before each Map
+// call, compute the first 25000·x Fibonacci numbers. Raising x makes
+// LazySH's reducer-side Map re-execution increasingly expensive, which
+// is what the cost threshold T exists to bound.
+package cpuwork
+
+import (
+	"sync/atomic"
+
+	"repro/internal/mr"
+)
+
+// FibUnit is the paper's busy-work unit: 25000 Fibonacci numbers per x.
+const FibUnit = 25000
+
+// fibSink defeats dead-code elimination of the busy loop. Burn runs in
+// concurrent map tasks, so the sink is atomic.
+var fibSink atomic.Uint64
+
+// Burn computes the first n Fibonacci numbers (mod 2^64).
+func Burn(n int) {
+	var a, b uint64 = 0, 1
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	fibSink.Add(a)
+}
+
+// fibMapper delegates to an inner mapper after burning CPU.
+type fibMapper struct {
+	inner mr.Mapper
+	n     int
+}
+
+// Setup implements mr.Mapper.
+func (m *fibMapper) Setup(info *mr.TaskInfo, out mr.Emitter) error {
+	return m.inner.Setup(info, out)
+}
+
+// Map implements mr.Mapper.
+func (m *fibMapper) Map(key, value []byte, out mr.Emitter) error {
+	Burn(m.n)
+	return m.inner.Map(key, value, out)
+}
+
+// Cleanup implements mr.Mapper.
+func (m *fibMapper) Cleanup(out mr.Emitter) error { return m.inner.Cleanup(out) }
+
+// WrapJob returns a copy of job whose Map calls first compute the first
+// FibUnit·x Fibonacci numbers. x = 0 returns the job unchanged. The
+// wrapper is deterministic, so the job's Deterministic flag survives.
+func WrapJob(job *mr.Job, x int) *mr.Job {
+	if x <= 0 {
+		return job
+	}
+	w := *job
+	inner := job.NewMapper
+	w.NewMapper = func() mr.Mapper { return &fibMapper{inner: inner(), n: FibUnit * x} }
+	return &w
+}

@@ -1,0 +1,53 @@
+package cpuwork
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/mr"
+	"repro/internal/workloads/sortwl"
+)
+
+func TestBurnScalesWork(t *testing.T) {
+	// Just exercise the path; correctness is "it terminates and touches
+	// the sink".
+	before := fibSink.Load()
+	Burn(1000)
+	if fibSink.Load() == before {
+		t.Log("sink unchanged (possible but astronomically unlikely)")
+	}
+}
+
+func TestWrapJobPreservesResults(t *testing.T) {
+	text := datagen.NewRandomText(datagen.RandomTextConfig{Seed: 61, Lines: 50})
+	base := sortwl.NewJob(2)
+	plain, err := mr.Run(base, sortwl.Splits(text, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := mr.Run(WrapJob(sortwl.NewJob(2), 1), sortwl.Splits(text, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats.ReduceOutputRecords != wrapped.Stats.ReduceOutputRecords {
+		t.Error("busy work changed results")
+	}
+	if WrapJob(base, 0) != base {
+		t.Error("x=0 should return the job unchanged")
+	}
+}
+
+func TestWrapJobAddsCPUTime(t *testing.T) {
+	text := datagen.NewRandomText(datagen.RandomTextConfig{Seed: 62, Lines: 200})
+	run := func(x int) int64 {
+		res, err := mr.Run(WrapJob(sortwl.NewJob(2), x), sortwl.Splits(text, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(res.Stats.MapCPU)
+	}
+	light, heavy := run(0), run(16)
+	if heavy < light*2 {
+		t.Errorf("x=16 map CPU (%d) not well above x=0 (%d)", heavy, light)
+	}
+}

@@ -1,0 +1,216 @@
+// Package pagerank implements the iterative PageRank workload of §7.7.2:
+// each iteration's Map divides a node's rank evenly over its outgoing
+// edges, emitting every edge with its contribution, and forwards the
+// graph structure; Reduce sums contributions and applies the damping
+// factor. All of one node's contribution records carry the same value —
+// rank/out-degree — so EagerSH collapses a high-out-degree hub's fan-out
+// per reduce task into a single record, and LazySH can ship the node
+// record itself instead; skewed graphs make both wins large.
+package pagerank
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/bytesx"
+	"repro/internal/datagen"
+	"repro/internal/mr"
+)
+
+// Damping is the standard PageRank damping factor.
+const Damping = 0.85
+
+// Record-kind tags in value components.
+const (
+	tagStruct  = 'S'
+	tagContrib = 'R'
+)
+
+// NodeKey renders a node id as a fixed-width big-endian key, so raw byte
+// comparison orders nodes numerically.
+func NodeKey(id int32) []byte {
+	var k [4]byte
+	binary.BigEndian.PutUint32(k[:], uint32(id))
+	return k[:]
+}
+
+// NodeID parses a node key.
+func NodeID(key []byte) int32 { return int32(binary.BigEndian.Uint32(key)) }
+
+// EncodeStruct packs a node's rank and adjacency list.
+func EncodeStruct(rank float64, adj []int32) []byte {
+	buf := make([]byte, 0, 9+4*len(adj))
+	buf = append(buf, tagStruct)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(rank))
+	buf = bytesx.AppendUvarint(buf, uint64(len(adj)))
+	for _, dst := range adj {
+		buf = bytesx.AppendUvarint(buf, uint64(uint32(dst)))
+	}
+	return buf
+}
+
+// DecodeStruct unpacks a structure record.
+func DecodeStruct(buf []byte) (rank float64, adj []int32, err error) {
+	if len(buf) < 9 || buf[0] != tagStruct {
+		return 0, nil, fmt.Errorf("pagerank: not a struct record")
+	}
+	rank = math.Float64frombits(binary.BigEndian.Uint64(buf[1:9]))
+	rest := buf[9:]
+	n, used, err := bytesx.Uvarint(rest)
+	if err != nil {
+		return 0, nil, err
+	}
+	rest = rest[used:]
+	adj = make([]int32, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, used, err := bytesx.Uvarint(rest)
+		if err != nil {
+			return 0, nil, err
+		}
+		adj = append(adj, int32(uint32(v)))
+		rest = rest[used:]
+	}
+	return rank, adj, nil
+}
+
+// EncodeContrib packs a rank contribution.
+func EncodeContrib(c float64) []byte {
+	var buf [9]byte
+	buf[0] = tagContrib
+	binary.BigEndian.PutUint64(buf[1:], math.Float64bits(c))
+	return buf[:]
+}
+
+// mapper forwards structure and spreads rank over out-edges.
+type mapper struct{ mr.MapperBase }
+
+// Map implements mr.Mapper: key is the node, value its struct record.
+func (mapper) Map(key, value []byte, out mr.Emitter) error {
+	rank, adj, err := DecodeStruct(value)
+	if err != nil {
+		return err
+	}
+	// Forward the graph structure to the node's own reducer.
+	if err := out.Emit(key, EncodeStruct(0, adj)); err != nil {
+		return err
+	}
+	if len(adj) == 0 {
+		return nil
+	}
+	contrib := EncodeContrib(rank / float64(len(adj)))
+	for _, dst := range adj {
+		if err := out.Emit(NodeKey(dst), contrib); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reducer sums contributions and re-attaches structure.
+type reducer struct {
+	mr.ReducerBase
+	nodes int
+}
+
+// Reduce implements mr.Reducer.
+func (r *reducer) Reduce(key []byte, values mr.ValueIter, out mr.Emitter) error {
+	var sum float64
+	var adj []int32
+	sawStruct := false
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		switch {
+		case len(v) > 0 && v[0] == tagContrib && len(v) == 9:
+			sum += math.Float64frombits(binary.BigEndian.Uint64(v[1:]))
+		case len(v) > 0 && v[0] == tagStruct:
+			_, a, err := DecodeStruct(v)
+			if err != nil {
+				return err
+			}
+			adj = a
+			sawStruct = true
+		default:
+			return fmt.Errorf("pagerank: unknown record tag")
+		}
+	}
+	if !sawStruct {
+		// A contribution for a node id outside the graph (cannot happen
+		// with well-formed input, but fail loudly rather than silently).
+		return fmt.Errorf("pagerank: contributions for unknown node %d", NodeID(key))
+	}
+	newRank := (1-Damping)/float64(r.nodes) + Damping*sum
+	return out.Emit(key, EncodeStruct(newRank, adj))
+}
+
+// NewJob builds one PageRank iteration over a graph of n nodes.
+func NewJob(n, reducers int) *mr.Job {
+	if reducers <= 0 {
+		reducers = 8
+	}
+	return &mr.Job{
+		Name:           "pagerank",
+		NewMapper:      func() mr.Mapper { return mapper{} },
+		NewReducer:     func() mr.Reducer { return &reducer{nodes: n} },
+		NumReduceTasks: reducers,
+		Deterministic:  true,
+	}
+}
+
+// InitialRecords renders a graph as iteration-0 input with uniform ranks.
+func InitialRecords(g *datagen.Graph) []mr.Record {
+	n := len(g.Out)
+	recs := make([]mr.Record, n)
+	r0 := 1 / float64(n)
+	for i, adj := range g.Out {
+		recs[i] = mr.Record{Key: NodeKey(int32(i)), Value: EncodeStruct(r0, adj)}
+	}
+	return recs
+}
+
+// RanksFromOutput extracts node ranks from a job result.
+func RanksFromOutput(res *mr.Result) (map[int32]float64, error) {
+	ranks := make(map[int32]float64)
+	for _, rec := range res.SortedOutput() {
+		rank, _, err := DecodeStruct(rec.Value)
+		if err != nil {
+			return nil, err
+		}
+		ranks[NodeID(rec.Key)] = rank
+	}
+	return ranks, nil
+}
+
+// Reference computes PageRank sequentially for the same number of
+// iterations, for correctness tests.
+func Reference(g *datagen.Graph, iterations int) map[int32]float64 {
+	n := len(g.Out)
+	ranks := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = 1 / float64(n)
+	}
+	for it := 0; it < iterations; it++ {
+		next := make([]float64, n)
+		for i := range next {
+			next[i] = (1 - Damping) / float64(n)
+		}
+		for node, adj := range g.Out {
+			if len(adj) == 0 {
+				continue
+			}
+			share := Damping * ranks[node] / float64(len(adj))
+			for _, dst := range adj {
+				next[dst] += share
+			}
+		}
+		ranks = next
+	}
+	out := make(map[int32]float64, n)
+	for i, r := range ranks {
+		out[int32(i)] = r
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Package scanshare implements the multi-query scan-sharing workload §1
+// motivates: several aggregation queries are merged into one MapReduce
+// job over a shared input scan (as Pig, Hive, MRShare and CoScan do),
+// so a single scanned record "might have to be duplicated many times in
+// order to forward it to the downstream operators of the queries
+// involved" — one tagged copy per query. Those copies all carry the
+// same value (the record), which is exactly Anti-Combining's sharing
+// opportunity: EagerSH collapses the per-partition duplicates and
+// LazySH ships the scanned record once per reduce task.
+//
+// The queries are simple group-by aggregations over Cloud reports:
+// query q selects records with a hash-derived selectivity, groups them
+// by one of the join attributes (date, longitude band, latitude band),
+// and computes COUNT and SUM(latitude).
+package scanshare
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/datagen"
+	"repro/internal/mr"
+)
+
+// Config shapes the merged job.
+type Config struct {
+	// Queries is how many downstream queries share the scan.
+	// Defaults to 8.
+	Queries int
+	// SelectivityPct is each query's selection selectivity in percent.
+	// Defaults to 100 (every record feeds every query).
+	SelectivityPct int
+	// Reducers is the number of reduce tasks. Defaults to 8.
+	Reducers int
+}
+
+func (c Config) normalized() Config {
+	if c.Queries <= 0 {
+		c.Queries = 8
+	}
+	if c.SelectivityPct <= 0 || c.SelectivityPct > 100 {
+		c.SelectivityPct = 100
+	}
+	if c.Reducers <= 0 {
+		c.Reducers = 8
+	}
+	return c
+}
+
+// groupKey derives query q's group-by key for a record.
+func groupKey(q int, date, lon, lat int32) string {
+	switch q % 3 {
+	case 0:
+		return fmt.Sprintf("q%02d|d%d", q, date)
+	case 1:
+		return fmt.Sprintf("q%02d|x%d", q, lon/360) // 36-degree longitude bands
+	default:
+		return fmt.Sprintf("q%02d|y%d", q, (lat+900)/300) // 30-degree latitude bands
+	}
+}
+
+// selected reports whether query q's selection keeps the record,
+// deterministically (LazySH re-executes Map on the reducers).
+func selected(cfg Config, q int, line []byte) bool {
+	if cfg.SelectivityPct >= 100 {
+		return true
+	}
+	h := datagen.Hash64(line) ^ (uint64(q)+1)*0x9e3779b97f4a7c15
+	return int(h%100) < cfg.SelectivityPct
+}
+
+// mapper forwards each scanned record to every selecting query.
+type mapper struct {
+	mr.MapperBase
+	cfg Config
+}
+
+// Map implements mr.Mapper over one Cloud record line.
+func (m mapper) Map(key, value []byte, out mr.Emitter) error {
+	date, lon, lat, ok := datagen.ParseCloudLine(value)
+	if !ok {
+		return fmt.Errorf("scanshare: bad record %q", value)
+	}
+	for q := 0; q < m.cfg.Queries; q++ {
+		if !selected(m.cfg, q, value) {
+			continue
+		}
+		// The value component is the record itself — the duplication
+		// across queries that Anti-Combining removes.
+		if err := out.Emit([]byte(groupKey(q, date, lon, lat)), value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reducer computes COUNT and SUM(latitude) per (query, group).
+type reducer struct{ mr.ReducerBase }
+
+// Reduce implements mr.Reducer.
+func (reducer) Reduce(key []byte, values mr.ValueIter, out mr.Emitter) error {
+	var count, sumLat int64
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		_, _, lat, ok2 := datagen.ParseCloudLine(v)
+		if !ok2 {
+			return fmt.Errorf("scanshare: bad record %q", v)
+		}
+		count++
+		sumLat += int64(lat)
+	}
+	return out.Emit(key, []byte(FormatAgg(count, sumLat)))
+}
+
+// FormatAgg renders an aggregate result (shared with Reference).
+func FormatAgg(count, sumLat int64) string {
+	return strconv.FormatInt(count, 10) + "," + strconv.FormatInt(sumLat, 10)
+}
+
+// NewJob builds the merged scan-sharing job.
+func NewJob(cfg Config) *mr.Job {
+	cfg = cfg.normalized()
+	return &mr.Job{
+		Name:           "scanshare",
+		NewMapper:      func() mr.Mapper { return mapper{cfg: cfg} },
+		NewReducer:     func() mr.Reducer { return reducer{} },
+		NumReduceTasks: cfg.Reducers,
+		Deterministic:  true,
+	}
+}
+
+// Splits streams Cloud record lines.
+func Splits(cloud *datagen.Cloud, numSplits int) []mr.Split {
+	if numSplits < 1 {
+		numSplits = 1
+	}
+	per := (cloud.Len() + numSplits - 1) / numSplits
+	var splits []mr.Split
+	for start := 0; start < cloud.Len(); start += per {
+		start, end := start, min(start+per, cloud.Len())
+		splits = append(splits, &mr.GenSplit{Gen: func(emit func(k, v []byte) error) error {
+			for i := start; i < end; i++ {
+				if err := emit(nil, []byte(cloud.Record(i).Line())); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+	}
+	if len(splits) == 0 {
+		splits = []mr.Split{&mr.MemSplit{}}
+	}
+	return splits
+}
+
+// Reference computes the expected per-(query, group) aggregates
+// sequentially.
+func Reference(cloud *datagen.Cloud, cfg Config) map[string]string {
+	cfg = cfg.normalized()
+	type agg struct{ count, sumLat int64 }
+	aggs := map[string]*agg{}
+	for i := 0; i < cloud.Len(); i++ {
+		rec := cloud.Record(i)
+		line := []byte(rec.Line())
+		for q := 0; q < cfg.Queries; q++ {
+			if !selected(cfg, q, line) {
+				continue
+			}
+			k := groupKey(q, rec.Date, rec.Longitude, rec.Latitude)
+			a, ok := aggs[k]
+			if !ok {
+				a = &agg{}
+				aggs[k] = a
+			}
+			a.count++
+			a.sumLat += int64(rec.Latitude)
+		}
+	}
+	out := make(map[string]string, len(aggs))
+	for k, a := range aggs {
+		out[k] = FormatAgg(a.count, a.sumLat)
+	}
+	return out
+}

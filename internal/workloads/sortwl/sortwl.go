@@ -1,0 +1,70 @@
+// Package sortwl implements the Hadoop Sort workload used by §7.1's
+// overhead analysis: Map emits exactly one output record per input
+// record (the record itself), so there are no sharing opportunities and
+// Anti-Combining's adaptive encoder must degrade to plain records whose
+// only cost is the one-byte encoding flag.
+package sortwl
+
+import (
+	"repro/internal/datagen"
+	"repro/internal/mr"
+)
+
+type mapper struct{ mr.MapperBase }
+
+// Map implements mr.Mapper: the line becomes the sort key.
+func (mapper) Map(key, value []byte, out mr.Emitter) error {
+	return out.Emit(value, nil)
+}
+
+type reducer struct{ mr.ReducerBase }
+
+// Reduce implements mr.Reducer, emitting each key once per occurrence.
+func (reducer) Reduce(key []byte, values mr.ValueIter, out mr.Emitter) error {
+	for {
+		if _, ok := values.Next(); !ok {
+			return nil
+		}
+		if err := out.Emit(key, nil); err != nil {
+			return err
+		}
+	}
+}
+
+// NewJob builds the Sort job.
+func NewJob(reducers int) *mr.Job {
+	if reducers <= 0 {
+		reducers = 8
+	}
+	return &mr.Job{
+		Name:           "sort",
+		NewMapper:      func() mr.Mapper { return mapper{} },
+		NewReducer:     func() mr.Reducer { return reducer{} },
+		NumReduceTasks: reducers,
+		Deterministic:  true,
+	}
+}
+
+// Splits streams random-text lines as sort input.
+func Splits(text *datagen.RandomText, numSplits int) []mr.Split {
+	if numSplits < 1 {
+		numSplits = 1
+	}
+	per := (text.Len() + numSplits - 1) / numSplits
+	var splits []mr.Split
+	for start := 0; start < text.Len(); start += per {
+		start, end := start, min(start+per, text.Len())
+		splits = append(splits, &mr.GenSplit{Gen: func(emit func(k, v []byte) error) error {
+			for i := start; i < end; i++ {
+				if err := emit(nil, []byte(text.Line(i))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+	}
+	if len(splits) == 0 {
+		splits = []mr.Split{&mr.MemSplit{}}
+	}
+	return splits
+}

@@ -1,0 +1,73 @@
+package sortwl
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/anticombine"
+	"repro/internal/datagen"
+	"repro/internal/mr"
+)
+
+func testText() *datagen.RandomText {
+	return datagen.NewRandomText(datagen.RandomTextConfig{
+		Seed: 51, Lines: 400, WordsPerLine: 8, VocabWords: 500,
+	})
+}
+
+func TestSortProducesSortedRuns(t *testing.T) {
+	text := testText()
+	res, err := mr.Run(NewJob(3), Splits(text, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ReduceOutputRecords != int64(text.Len()) {
+		t.Errorf("output records = %d, want %d", res.Stats.ReduceOutputRecords, text.Len())
+	}
+	for p, part := range res.Output {
+		keys := make([]string, len(part))
+		for i, r := range part {
+			keys[i] = string(r.Key)
+		}
+		if !sort.StringsAreSorted(keys) {
+			t.Errorf("partition %d output not sorted", p)
+		}
+	}
+}
+
+func TestAntiCombiningOverheadIsFlagOnly(t *testing.T) {
+	// §7.1: on Sort there are no sharing opportunities; AdaptiveSH must
+	// fall back to plain records, and the byte overhead must be exactly
+	// the one-byte-per-record encoding flag (framing aside).
+	text := testText()
+	run := func(wrap bool) *mr.Result {
+		job := NewJob(3)
+		if wrap {
+			job = anticombine.Wrap(job, anticombine.AdaptiveInf())
+		}
+		res, err := mr.Run(job, Splits(text, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	orig, anti := run(false), run(true)
+	if anti.Stats.MapOutputRecords != orig.Stats.MapOutputRecords {
+		t.Errorf("record counts differ: %d vs %d",
+			anti.Stats.MapOutputRecords, orig.Stats.MapOutputRecords)
+	}
+	extra := anti.Stats.MapOutputBytes - orig.Stats.MapOutputBytes
+	if extra != anti.Stats.MapOutputRecords {
+		t.Errorf("overhead = %d bytes over %d records; want exactly 1 byte/record",
+			extra, anti.Stats.MapOutputRecords)
+	}
+	if lazy := anti.Stats.Extra[anticombine.CounterLazyRecords]; lazy != 0 {
+		t.Errorf("adaptive chose lazy %d times on Sort; want 0", lazy)
+	}
+	if eager := anti.Stats.Extra[anticombine.CounterEagerRecords]; eager != 0 {
+		t.Errorf("adaptive built eager key sets %d times on Sort; want 0", eager)
+	}
+	if anti.Stats.ReduceOutputRecords != orig.Stats.ReduceOutputRecords {
+		t.Error("outputs differ")
+	}
+}

@@ -1,0 +1,125 @@
+package thetajoin
+
+import (
+	"testing"
+
+	"repro/internal/anticombine"
+	"repro/internal/datagen"
+	"repro/internal/mr"
+)
+
+func testCloud() *datagen.Cloud {
+	return datagen.NewCloud(datagen.CloudConfig{
+		Seed: 41, Records: 400, Days: 5, Stations: 8,
+	})
+}
+
+func joinResult(t *testing.T, job *mr.Job, cloud *datagen.Cloud) map[string]int {
+	t.Helper()
+	res, err := mr.Run(job, Splits(cloud, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]int)
+	for _, r := range res.SortedOutput() {
+		got[string(r.Value)]++
+	}
+	return got
+}
+
+func assertJoinEqual(t *testing.T, got, want map[string]int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("distinct rows: got %d, want %d", len(got), len(want))
+	}
+	for row, n := range want {
+		if got[row] != n {
+			t.Errorf("row %q: got %d, want %d", row, got[row], n)
+		}
+	}
+}
+
+func TestJoinMatchesReference(t *testing.T) {
+	cloud := testCloud()
+	want := Reference(cloud, 100)
+	if len(want) == 0 {
+		t.Fatal("reference join is empty; generator parameters too sparse")
+	}
+	got := joinResult(t, NewJob(Config{Rows: 4, Cols: 4, Reducers: 5}), cloud)
+	assertJoinEqual(t, got, want)
+}
+
+func TestJoinGridShapesAgree(t *testing.T) {
+	// Every (s, t) pair must meet in exactly one region regardless of
+	// the grid tiling.
+	cloud := testCloud()
+	want := Reference(cloud, 100)
+	for _, grid := range []Config{
+		{Rows: 1, Cols: 1, Reducers: 1},
+		{Rows: 2, Cols: 8, Reducers: 4},
+		{Rows: 8, Cols: 2, Reducers: 16},
+	} {
+		assertJoinEqual(t, joinResult(t, NewJob(grid), cloud), want)
+	}
+}
+
+func TestAntiCombinedMatchesReference(t *testing.T) {
+	cloud := testCloud()
+	want := Reference(cloud, 100)
+	for _, tc := range []struct {
+		name string
+		opts anticombine.Options
+	}{
+		{"adaptive", anticombine.AdaptiveInf()},
+		{"eager", anticombine.Adaptive0()},
+		{"lazy", anticombine.Options{Strategy: anticombine.LazyOnly}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			job := anticombine.Wrap(NewJob(Config{Rows: 4, Cols: 4, Reducers: 5}), tc.opts)
+			assertJoinEqual(t, joinResult(t, job, cloud), want)
+		})
+	}
+}
+
+func TestReplicationFactor(t *testing.T) {
+	// 1-Bucket-Theta replicates each tuple Rows + Cols times — the data
+	// explosion (~67× in the paper) that Anti-Combining attacks.
+	cloud := testCloud()
+	cfg := Config{Rows: 6, Cols: 5, Reducers: 6}
+	res, err := mr.Run(NewJob(cfg), Splits(cloud, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecords := int64(cloud.Len()) * int64(cfg.Rows+cfg.Cols)
+	if res.Stats.MapOutputRecords != wantRecords {
+		t.Errorf("map output records = %d, want %d", res.Stats.MapOutputRecords, wantRecords)
+	}
+}
+
+func TestAdaptivePrefersLazy(t *testing.T) {
+	// §7.7.3: "AdaptiveSH ended up choosing LazySH encoding for all map
+	// output records" — with multiple regions per reduce task, shipping
+	// the input once per task always beats carrying region key sets.
+	cloud := testCloud()
+	job := anticombine.Wrap(NewJob(Config{Rows: 8, Cols: 8, Reducers: 4}), anticombine.AdaptiveInf())
+	res, err := mr.Run(job, Splits(cloud, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := res.Stats.Extra[anticombine.CounterLazyRecords]
+	eager := res.Stats.Extra[anticombine.CounterEagerRecords]
+	plain := res.Stats.Extra[anticombine.CounterPlainRecords]
+	if lazy == 0 || lazy < (eager+plain)*10 {
+		t.Errorf("adaptive choices: lazy=%d eager=%d plain=%d; lazy should dominate",
+			lazy, eager, plain)
+	}
+}
+
+func TestRegionKeyDeterminism(t *testing.T) {
+	if string(RegionKey(7)) != string(RegionKey(7)) {
+		t.Error("RegionKey must be deterministic")
+	}
+	if string(RegionKey(1)) >= string(RegionKey(300)) {
+		t.Error("RegionKey ordering broken")
+	}
+}

@@ -1,0 +1,96 @@
+// Package wordcount implements the WordCount workload of §7.7.1: Map
+// emits (word, 1) per word, a sum Combiner collapses counts per map
+// task, Reduce totals the partial sums. Every Map output in a call
+// shares the value "1", so Anti-Combining's EagerSH collapses a line's
+// words per partition into one record even before the combiner runs.
+package wordcount
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/mr"
+)
+
+type mapper struct{ mr.MapperBase }
+
+// Map implements mr.Mapper over a line of text.
+func (mapper) Map(key, value []byte, out mr.Emitter) error {
+	for _, w := range strings.Fields(string(value)) {
+		if err := out.Emit([]byte(w), []byte("1")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type sumReducer struct{ mr.ReducerBase }
+
+// Reduce implements mr.Reducer (and the Combiner contract) by summing
+// decimal counts.
+func (sumReducer) Reduce(key []byte, values mr.ValueIter, out mr.Emitter) error {
+	var total uint64
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		n, err := strconv.ParseUint(string(v), 10, 64)
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	return out.Emit(key, []byte(strconv.FormatUint(total, 10)))
+}
+
+// NewJob builds the WordCount job with its (highly effective) combiner.
+func NewJob(reducers int) *mr.Job {
+	if reducers <= 0 {
+		reducers = 8
+	}
+	return &mr.Job{
+		Name:           "wordcount",
+		NewMapper:      func() mr.Mapper { return mapper{} },
+		NewReducer:     func() mr.Reducer { return sumReducer{} },
+		NewCombiner:    func() mr.Reducer { return sumReducer{} },
+		NumReduceTasks: reducers,
+		Deterministic:  true,
+	}
+}
+
+// Splits streams lines from a random-text generator.
+func Splits(text *datagen.RandomText, numSplits int) []mr.Split {
+	if numSplits < 1 {
+		numSplits = 1
+	}
+	per := (text.Len() + numSplits - 1) / numSplits
+	var splits []mr.Split
+	for start := 0; start < text.Len(); start += per {
+		start, end := start, min(start+per, text.Len())
+		splits = append(splits, &mr.GenSplit{Gen: func(emit func(k, v []byte) error) error {
+			for i := start; i < end; i++ {
+				if err := emit(nil, []byte(text.Line(i))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+	}
+	if len(splits) == 0 {
+		splits = []mr.Split{&mr.MemSplit{}}
+	}
+	return splits
+}
+
+// Reference computes exact word counts sequentially for tests.
+func Reference(text *datagen.RandomText) map[string]uint64 {
+	counts := make(map[string]uint64)
+	for i := 0; i < text.Len(); i++ {
+		for _, w := range strings.Fields(text.Line(i)) {
+			counts[w]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,23 @@
+# Standard developer targets. `make verify` is the tier-1 gate plus
+# vet and the race detector — run it before sending a change.
+
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run XXX ./...

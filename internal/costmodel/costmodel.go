@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/mr"
 	"repro/internal/netsim"
+	"repro/internal/sched"
 )
 
 // Cluster describes the modeled hardware.
@@ -81,4 +82,16 @@ func (c Cluster) Estimate(stats mr.Stats, shufflePerPartition []int64) (Estimate
 
 	e.Runtime = max(e.CPUTime, max(e.DiskTime, e.NetTime))
 	return e, nil
+}
+
+// ObservedOverlap measures, from a finished job's event timeline
+// (mr.Result.Timeline), how long shuffle fetches actually ran
+// concurrently with still-executing map tasks. The bottleneck model
+// above *assumes* CPU, disk, and network pipeline against each other;
+// under the pipelined scheduler this turns that assumption into a
+// measurement — a zero overlap (as the barrier engine produces) means
+// the shuffle phase serialized behind the map phase and the max() in
+// Estimate is optimistic by up to NetTime.
+func ObservedOverlap(timeline []sched.Attempt) time.Duration {
+	return sched.Overlap(timeline, mr.TaskGroupMap, mr.TaskGroupFetch)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/mr"
 	"repro/internal/netsim"
+	"repro/internal/sched"
 	"repro/internal/workloads/wordcount"
 )
 
@@ -104,5 +105,29 @@ func TestBadCluster(t *testing.T) {
 	var c Cluster
 	if _, err := c.Estimate(mr.Stats{}, nil); err == nil {
 		t.Error("zero-core cluster should error")
+	}
+}
+
+// TestObservedOverlap measures real map/fetch concurrency from a job's
+// event timeline: a real pipelined run over enough splits should show
+// positive overlap, and a synthetic serialized timeline shows zero.
+func TestObservedOverlap(t *testing.T) {
+	base := time.Unix(0, 0)
+	serial := []sched.Attempt{
+		{Task: "map/0", Group: mr.TaskGroupMap, Started: base, Finished: base.Add(time.Second)},
+		{Task: "fetch/0/0", Group: mr.TaskGroupFetch, Started: base.Add(time.Second), Finished: base.Add(2 * time.Second)},
+	}
+	if ov := ObservedOverlap(serial); ov != 0 {
+		t.Errorf("serialized timeline overlap = %v, want 0", ov)
+	}
+	piped := []sched.Attempt{
+		{Task: "map/1", Group: mr.TaskGroupMap, Started: base, Finished: base.Add(3 * time.Second)},
+		{Task: "fetch/0/0", Group: mr.TaskGroupFetch, Started: base.Add(time.Second), Finished: base.Add(2 * time.Second)},
+	}
+	if ov := ObservedOverlap(piped); ov != time.Second {
+		t.Errorf("pipelined timeline overlap = %v, want 1s", ov)
+	}
+	if ov := ObservedOverlap(nil); ov != 0 {
+		t.Errorf("empty timeline overlap = %v, want 0", ov)
 	}
 }

@@ -27,6 +27,13 @@ type SkewResult struct {
 	MeanTask []time.Duration
 	// Skew is max/mean per variant.
 	Skew []float64
+	// MaxMapTask, MeanMapTask, and MapSkew are the map-phase analogues,
+	// from mr.Result.MapTaskTimes: LazySH shifts work from map to
+	// reduce, so map-side skew should stay flat while reduce-side skew
+	// grows.
+	MaxMapTask  []time.Duration
+	MeanMapTask []time.Duration
+	MapSkew     []float64
 	// CPU is the variant's total CPU (the throughput side of the
 	// trade-off).
 	CPU []time.Duration
@@ -61,41 +68,51 @@ func Skew(cfg Config) (*SkewResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		var maxT, sum time.Duration
-		active := 0
-		for _, d := range res.ReduceTaskTimes {
-			if d > maxT {
-				maxT = d
-			}
-			sum += d
-			active++
-		}
-		mean := time.Duration(0)
-		if active > 0 {
-			mean = sum / time.Duration(active)
-		}
+		maxT, mean, skew := taskSkew(res.ReduceTaskTimes)
 		out.MaxTask = append(out.MaxTask, maxT)
 		out.MeanTask = append(out.MeanTask, mean)
-		skew := 0.0
-		if mean > 0 {
-			skew = float64(maxT) / float64(mean)
-		}
 		out.Skew = append(out.Skew, skew)
+		maxM, meanM, skewM := taskSkew(res.MapTaskTimes)
+		out.MaxMapTask = append(out.MaxMapTask, maxM)
+		out.MeanMapTask = append(out.MeanMapTask, meanM)
+		out.MapSkew = append(out.MapSkew, skewM)
 		out.CPU = append(out.CPU, res.Stats.TotalCPU())
 		out.MapOutputBytes = append(out.MapOutputBytes, res.Stats.MapOutputBytes)
 	}
 	return out, nil
 }
 
+// taskSkew summarizes a per-task duration slice as (max, mean,
+// max/mean).
+func taskSkew(times []time.Duration) (time.Duration, time.Duration, float64) {
+	var maxT, sum time.Duration
+	for _, d := range times {
+		if d > maxT {
+			maxT = d
+		}
+		sum += d
+	}
+	var mean time.Duration
+	if len(times) > 0 {
+		mean = sum / time.Duration(len(times))
+	}
+	skew := 0.0
+	if mean > 0 {
+		skew = float64(maxT) / float64(mean)
+	}
+	return maxT, mean, skew
+}
+
 // Render writes X4.
 func (r *SkewResult) Render(w io.Writer) {
 	t := Table{
 		Title:  "X4 (extension, §6.2) reducer load skew under LazySH (Query-Suggestion, Prefix-1)",
-		Header: []string{"variant", "mapOutBytes", "totalCPU", "maxTask", "meanTask", "skew(max/mean)"},
+		Header: []string{"variant", "mapOutBytes", "totalCPU", "maxRed", "meanRed", "redSkew", "maxMap", "meanMap", "mapSkew"},
 	}
 	for i, v := range r.Variants {
 		t.AddRow(v, Bytes(r.MapOutputBytes[i]), Dur(r.CPU[i]),
-			Dur(r.MaxTask[i]), Dur(r.MeanTask[i]), F(r.Skew[i]))
+			Dur(r.MaxTask[i]), Dur(r.MeanTask[i]), F(r.Skew[i]),
+			Dur(r.MaxMapTask[i]), Dur(r.MeanMapTask[i]), F(r.MapSkew[i]))
 	}
 	t.Render(w)
 }

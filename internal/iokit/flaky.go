@@ -20,6 +20,11 @@ type FlakyFS struct {
 	FailWriteAt int64
 	// FailReadAt fails the Nth read op (1-based; 0 disables).
 	FailReadAt int64
+	// FailOnce makes each configured fault transient: exactly the Nth
+	// op fails and later ops succeed, modelling a glitch a retry can
+	// recover from. When false (the default) faults are persistent —
+	// the Nth and every subsequent op fail.
+	FailOnce bool
 
 	writes atomic.Int64
 	reads  atomic.Int64
@@ -59,10 +64,22 @@ type flakyWriter struct {
 
 func (w *flakyWriter) Write(p []byte) (int, error) {
 	n := w.fs.writes.Add(1)
-	if w.fs.FailWriteAt > 0 && n >= w.fs.FailWriteAt {
+	if w.fs.shouldFail(n, w.fs.FailWriteAt) {
 		return 0, ErrInjected
 	}
 	return w.w.Write(p)
+}
+
+// shouldFail decides whether the nth op trips a fault configured at
+// failAt.
+func (f *FlakyFS) shouldFail(n, failAt int64) bool {
+	if failAt <= 0 {
+		return false
+	}
+	if f.FailOnce {
+		return n == failAt
+	}
+	return n >= failAt
 }
 
 func (w *flakyWriter) Close() error { return w.w.Close() }
@@ -74,7 +91,7 @@ type flakyReader struct {
 
 func (r *flakyReader) Read(p []byte) (int, error) {
 	n := r.fs.reads.Add(1)
-	if r.fs.FailReadAt > 0 && n >= r.fs.FailReadAt {
+	if r.fs.shouldFail(n, r.fs.FailReadAt) {
 		return 0, ErrInjected
 	}
 	return r.r.Read(p)

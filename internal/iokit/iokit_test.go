@@ -155,3 +155,48 @@ func TestMemFSTotalBytes(t *testing.T) {
 		t.Errorf("TotalBytes = %d", got)
 	}
 }
+
+func TestFlakyFSPersistentFault(t *testing.T) {
+	fs := &FlakyFS{Inner: NewMemFS(), FailWriteAt: 2}
+	w, _ := fs.Create("f")
+	if _, err := w.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := w.Write([]byte("b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2 should fail: %v", err)
+	}
+	// Persistent mode: every subsequent op keeps failing.
+	if _, err := w.Write([]byte("c")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 3 should still fail: %v", err)
+	}
+}
+
+func TestFlakyFSFailOnce(t *testing.T) {
+	fs := &FlakyFS{Inner: NewMemFS(), FailWriteAt: 2, FailOnce: true}
+	w, _ := fs.Create("f")
+	if _, err := w.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := w.Write([]byte("b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2 should fail: %v", err)
+	}
+	// Transient mode: exactly the Nth op fails; the retry succeeds.
+	if _, err := w.Write([]byte("c")); err != nil {
+		t.Fatalf("write 3 should succeed after transient fault: %v", err)
+	}
+	w.Close()
+
+	rfs := &FlakyFS{Inner: NewMemFS(), FailReadAt: 1, FailOnce: true}
+	w2, _ := rfs.Create("g")
+	w2.Write([]byte("data"))
+	w2.Close()
+	r, _ := rfs.Open("g")
+	buf := make([]byte, 4)
+	if _, err := r.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read 1 should fail: %v", err)
+	}
+	if _, err := r.Read(buf); err != nil {
+		t.Fatalf("read 2 should succeed after transient fault: %v", err)
+	}
+	r.Close()
+}

@@ -28,6 +28,8 @@ type mapBuffer struct {
 	fs       iokit.FS
 	counters *Counters
 	taskID   int
+	attempt  int
+	dir      string // attempt-scoped output directory
 
 	arena   []byte
 	entries []bufEntry
@@ -41,8 +43,12 @@ type bufEntry struct {
 	valueOff, valueLen int32
 }
 
-func newMapBuffer(job *Job, fs iokit.FS, counters *Counters, taskID int) *mapBuffer {
-	return &mapBuffer{job: job, fs: fs, counters: counters, taskID: taskID}
+func newMapBuffer(job *Job, fs iokit.FS, counters *Counters, taskID, attempt int) *mapBuffer {
+	return &mapBuffer{
+		job: job, fs: fs, counters: counters,
+		taskID: taskID, attempt: attempt,
+		dir: mapTaskDir(job, taskID, attempt),
+	}
 }
 
 func (b *mapBuffer) key(e bufEntry) []byte {
@@ -103,7 +109,7 @@ func (b *mapBuffer) spill() error {
 		for end < len(b.entries) && b.entries[end].partition == part {
 			end++
 		}
-		name := fmt.Sprintf("%s/m%04d/spill%04d.p%04d", b.job.Name, b.taskID, spillID, part)
+		name := fmt.Sprintf("%s/spill%04d.p%04d", b.dir, spillID, part)
 		seg, err := b.writeRun(name, int(part), b.entries[start:end])
 		if err != nil {
 			return err
@@ -162,6 +168,7 @@ func (b *mapBuffer) combineRun(partition int, entries []bufEntry, w *bytesx.Writ
 		JobName:       b.job.Name,
 		TaskID:        b.taskID,
 		Partition:     partition,
+		Attempt:       b.attempt,
 		NumPartitions: b.job.NumReduceTasks,
 		Partitioner:   b.job.Partitioner,
 		KeyCompare:    b.job.KeyCompare,
@@ -226,8 +233,8 @@ func (b *mapBuffer) finish() ([]segment, error) {
 	var out []segment
 	for part, segs := range byPart {
 		merged, err := mergeSegments(b.job, b.fs, b.counters,
-			fmt.Sprintf("%s/m%04d/out.p%04d", b.job.Name, b.taskID, part),
-			part, segs, useCombiner, b.taskID)
+			fmt.Sprintf("%s/out.p%04d", b.dir, part),
+			part, segs, useCombiner, b.taskID, true)
 		if err != nil {
 			return nil, err
 		}
@@ -258,26 +265,29 @@ func openSegment(job *Job, fs iokit.FS, seg segment) (recordStream, error) {
 }
 
 // mergeSegments k-way merges sorted segments of one partition into a new
-// segment file, optionally combining key groups, and removes the inputs.
-// When the input count exceeds the job's merge factor, intermediate
-// passes reduce it first (Hadoop's multi-pass merge).
-func mergeSegments(job *Job, fs iokit.FS, counters *Counters, name string, partition int, segs []segment, useCombiner bool, taskID int) (segment, error) {
+// segment file, optionally combining key groups. removeInputs deletes
+// consumed input files (the map-side behaviour); reduce-side merges keep
+// them when task retries are enabled so a retried attempt can redo the
+// merge from intact files. When the input count exceeds the job's merge
+// factor, intermediate passes reduce it first (Hadoop's multi-pass
+// merge).
+func mergeSegments(job *Job, fs iokit.FS, counters *Counters, name string, partition int, segs []segment, useCombiner bool, taskID int, removeInputs bool) (segment, error) {
 	pass := 0
 	for len(segs) > job.MergeFactor {
 		batch := segs[:job.MergeFactor]
 		rest := segs[job.MergeFactor:]
 		interName := fmt.Sprintf("%s.pass%04d", name, pass)
 		pass++
-		inter, err := mergeOnce(job, fs, counters, interName, partition, batch, false, taskID)
+		inter, err := mergeOnce(job, fs, counters, interName, partition, batch, false, taskID, removeInputs)
 		if err != nil {
 			return segment{}, err
 		}
 		segs = append(rest, inter)
 	}
-	return mergeOnce(job, fs, counters, name, partition, segs, useCombiner, taskID)
+	return mergeOnce(job, fs, counters, name, partition, segs, useCombiner, taskID, removeInputs)
 }
 
-func mergeOnce(job *Job, fs iokit.FS, counters *Counters, name string, partition int, segs []segment, useCombiner bool, taskID int) (segment, error) {
+func mergeOnce(job *Job, fs iokit.FS, counters *Counters, name string, partition int, segs []segment, useCombiner bool, taskID int, removeInputs bool) (segment, error) {
 	streams := make([]recordStream, len(segs))
 	for i, s := range segs {
 		st, err := openSegment(job, fs, s)
@@ -331,9 +341,11 @@ func mergeOnce(job *Job, fs iokit.FS, counters *Counters, name string, partition
 	if err != nil {
 		return segment{}, err
 	}
-	for _, s := range segs {
-		if err := fs.Remove(s.file); err != nil {
-			return segment{}, err
+	if removeInputs {
+		for _, s := range segs {
+			if err := fs.Remove(s.file); err != nil {
+				return segment{}, err
+			}
 		}
 	}
 	return segment{partition: partition, file: name, records: w.Records(), rawBytes: w.Bytes()}, nil

@@ -1,11 +1,30 @@
 package mr
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/iokit"
+	"repro/internal/sched"
+)
+
+// Scheduler names for Job.Scheduler.
+const (
+	// SchedulerPipelined is the event-driven scheduler with pipelined
+	// shuffle, retries, and optional speculative execution (the default).
+	SchedulerPipelined = "pipelined"
+	// SchedulerBarrier is the classic two-phase engine: all map tasks,
+	// a hard barrier, then all reduce tasks.
+	SchedulerBarrier = "barrier"
+)
+
+// Task timeline groups, as they appear in Result.Timeline.
+const (
+	TaskGroupMap    = "map"
+	TaskGroupFetch  = "fetch"
+	TaskGroupReduce = "reduce"
 )
 
 // Result carries a finished job's output and metrics.
@@ -21,14 +40,37 @@ type Result struct {
 	ShufflePerPartition []int64
 	// ReduceTaskTimes holds each reduce task's single-threaded duration,
 	// for load-skew analysis (§6.2 discusses LazySH-induced reducer
-	// skew).
+	// skew). Under the pipelined scheduler this is the merge+reduce
+	// time; the per-map fetch time is on the Timeline's fetch attempts.
 	ReduceTaskTimes []time.Duration
+	// MapTaskTimes holds each map task's single-threaded duration
+	// (winning attempt), so skew analysis covers both phases.
+	MapTaskTimes []time.Duration
+	// Timeline is the per-attempt task event log: queued/start/finish
+	// timestamps and outcome for every map, fetch, and reduce attempt,
+	// including retries and speculative duplicates. Consumers (cost
+	// model, experiments) can measure real phase overlap from it
+	// instead of assuming phase serialization.
+	Timeline []sched.Attempt
 }
 
-// Run executes a MapReduce job over the given input splits: all map
-// tasks, then all reduce tasks, each phase bounded by Job.Parallelism
-// workers. It is the analogue of submitting a job to a Hadoop cluster
-// and waiting for completion.
+// runEnv bundles the per-run state shared by both schedulers.
+type runEnv struct {
+	job       *Job
+	fs        iokit.FS // metered view of job.FS
+	counters  *Counters
+	transport Transport
+	splits    []Split
+}
+
+// Run executes a MapReduce job over the given input splits and waits
+// for completion — the analogue of submitting a job to a Hadoop
+// cluster. Job.Scheduler picks the engine: the default pipelined
+// scheduler starts each reduce partition's segment fetches as soon as
+// the map tasks feeding it complete, with per-task retries and optional
+// speculative execution; the barrier scheduler runs all map tasks, then
+// all reduce tasks. Both are bounded by Job.Parallelism workers and
+// produce byte-identical output.
 func Run(job *Job, splits []Split) (*Result, error) {
 	j, err := job.normalized()
 	if err != nil {
@@ -53,10 +95,42 @@ func Run(job *Job, splits []Split) (*Result, error) {
 		transport = tcp
 	}
 
+	env := &runEnv{job: j, fs: fs, counters: counters, transport: transport, splits: splits}
+	var res *Result
+	switch j.Scheduler {
+	case SchedulerBarrier:
+		res, err = runBarrier(context.Background(), env)
+	default:
+		res, err = runPipelined(context.Background(), env)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	stats := counters.Snapshot()
+	stats.DiskReadBytes = meter.ReadBytes()
+	stats.DiskWriteBytes = meter.WriteBytes()
+	stats.WallTime = time.Since(start)
+	res.Stats = stats
+	return res, nil
+}
+
+// runBarrier is the classic two-phase engine: a pool of map tasks, a
+// hard barrier, then a pool of reduce tasks. A failed task cancels the
+// phase's context so in-flight siblings stop promptly.
+func runBarrier(ctx context.Context, env *runEnv) (*Result, error) {
+	j := env.job
+	nMap := len(env.splits)
+
+	tl := &timelineLog{}
+
 	// Map phase.
-	mapSegs := make([][]segment, len(splits))
-	err = runPool(j.Parallelism, len(splits), func(i int) error {
-		segs, err := runMapTask(j, fs, counters, i, splits[i])
+	mapSegs := make([][]segment, nMap)
+	mapTimes := make([]time.Duration, nMap)
+	err := runPool(ctx, j.Parallelism, nMap, func(ctx context.Context, i int) error {
+		done := tl.begin(mapTaskName(i), TaskGroupMap)
+		segs, err := runMapTask(ctx, j, env.fs, env.counters, i, 0, env.splits[i])
+		mapTimes[i] = done(err)
 		mapSegs[i] = segs
 		return err
 	})
@@ -86,10 +160,10 @@ func Run(job *Job, splits []Split) (*Result, error) {
 	// Reduce phase.
 	output := make([][]Record, j.NumReduceTasks)
 	taskTimes := make([]time.Duration, j.NumReduceTasks)
-	err = runPool(j.Parallelism, j.NumReduceTasks, func(p int) error {
-		taskStart := time.Now()
-		recs, err := runReduceTask(j, fs, counters, transport, p, byPart[p])
-		taskTimes[p] = time.Since(taskStart)
+	err = runPool(ctx, j.Parallelism, j.NumReduceTasks, func(ctx context.Context, p int) error {
+		done := tl.begin(reduceTaskName(p), TaskGroupReduce)
+		recs, err := runReduceTask(ctx, j, env.fs, env.counters, env.transport, p, byPart[p])
+		taskTimes[p] = done(err)
 		output[p] = recs
 		return err
 	})
@@ -97,27 +171,60 @@ func Run(job *Job, splits []Split) (*Result, error) {
 		return nil, err
 	}
 
-	stats := counters.Snapshot()
-	stats.DiskReadBytes = meter.ReadBytes()
-	stats.DiskWriteBytes = meter.WriteBytes()
-	stats.WallTime = time.Since(start)
 	return &Result{
-		Stats:               stats,
 		Output:              output,
 		ShufflePerPartition: shufflePer,
 		ReduceTaskTimes:     taskTimes,
+		MapTaskTimes:        mapTimes,
+		Timeline:            tl.attempts,
 	}, nil
 }
 
-// runPool runs fn(0..n-1) with at most workers goroutines, returning the
-// first error encountered.
-func runPool(workers, n int, fn func(i int) error) error {
+// timelineLog records per-task attempts for the barrier scheduler so
+// both engines expose the same Result.Timeline shape.
+type timelineLog struct {
+	mu       sync.Mutex
+	attempts []sched.Attempt
+}
+
+// begin starts timing one task; the returned func finishes the record
+// and reports the task duration.
+func (t *timelineLog) begin(name, group string) func(err error) time.Duration {
+	start := time.Now()
+	return func(err error) time.Duration {
+		end := time.Now()
+		a := sched.Attempt{
+			Task: name, Group: group,
+			Queued: start, Started: start, Finished: end,
+			Outcome: sched.OutcomeSuccess,
+		}
+		if err != nil {
+			a.Outcome = sched.OutcomeFailed
+			a.Err = err.Error()
+		}
+		t.mu.Lock()
+		t.attempts = append(t.attempts, a)
+		t.mu.Unlock()
+		return end.Sub(start)
+	}
+}
+
+// runPool runs fn(ctx, 0..n-1) with at most workers goroutines,
+// returning the first error encountered. The first failure cancels the
+// pool's context: queued indices are not dispatched and in-flight tasks
+// observe cancellation through the ctx plumbed into them.
+func runPool(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
 				return err
 			}
 		}
@@ -128,34 +235,45 @@ func runPool(workers, n int, fn func(i int) error) error {
 		mu       sync.Mutex
 		firstErr error
 	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+				if ctx.Err() != nil {
+					continue // drain after cancellation
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
 				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		mu.Lock()
-		stop := firstErr != nil
-		mu.Unlock()
-		if stop {
-			break
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
 		}
-		next <- i
 	}
 	close(next)
 	wg.Wait()
-	return firstErr
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }
 
 // SortedOutput flattens a result's per-partition output into one slice,

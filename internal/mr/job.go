@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/bytesx"
 	"repro/internal/codec"
@@ -54,6 +55,30 @@ type Job struct {
 	// to reducer-local files before merging, like Hadoop's fetch phase)
 	// instead of direct filesystem reads.
 	TCPShuffle bool
+	// Scheduler selects the execution engine. SchedulerPipelined (the
+	// default) runs the job as an event-driven task graph: each reduce
+	// partition's segment fetches start as soon as the map tasks feeding
+	// it complete, overlapping shuffle with still-running map tasks the
+	// way Hadoop's fetch phase does. SchedulerBarrier is the classic
+	// two-phase engine with a hard barrier between map and reduce. Both
+	// produce byte-identical output.
+	Scheduler string
+	// MaxTaskAttempts caps execution attempts per task (map, fetch,
+	// reduce) under the pipelined scheduler. Attempts beyond the first
+	// are made only for transient errors (injected I/O faults,
+	// connection-level fetch failures), with exponential backoff.
+	// Defaults to 1 (no retries).
+	MaxTaskAttempts int
+	// RetryBackoff is the delay before a task's first retry, doubling
+	// per subsequent failure. Defaults to 1ms.
+	RetryBackoff time.Duration
+	// Speculative enables speculative re-execution of straggler map
+	// attempts under the pipelined scheduler: when a map attempt runs
+	// well past its siblings' median duration a duplicate attempt is
+	// launched, the first finisher wins, and the loser is cancelled.
+	// Output is unaffected; duplicate attempts do inflate work counters
+	// (map input/output records, spills), as they do on Hadoop.
+	Speculative bool
 	// Deterministic declares that Map and Partitioner are deterministic
 	// functions of their inputs. When false, Anti-Combining disables
 	// LazySH (paper §6.2). The engine itself does not use it.
@@ -104,6 +129,19 @@ func (j *Job) normalized() (*Job, error) {
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	switch c.Scheduler {
+	case "":
+		c.Scheduler = SchedulerPipelined
+	case SchedulerPipelined, SchedulerBarrier:
+	default:
+		return nil, fmt.Errorf("%w: unknown scheduler %q", errJob, c.Scheduler)
+	}
+	if c.MaxTaskAttempts <= 0 {
+		c.MaxTaskAttempts = 1
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Millisecond
 	}
 	return &c, nil
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 )
 
 // BenchmarkWordCountPipeline drives the full engine — collect, sort,
@@ -33,6 +34,68 @@ func BenchmarkWordCountPipeline(b *testing.B) {
 	}
 }
 
+// stallMapper emits word counts like the plain word-count mapper but
+// stalls briefly on each input record, modelling a map task whose input
+// arrives over a network or a loaded disk. Latency-bound map tasks are
+// where scheduling policy shows: the barrier engine leaves the shuffle
+// idle during the stalls, while the pipelined scheduler fetches
+// finished maps' segments in that window.
+type stallMapper struct {
+	MapperBase
+	stall time.Duration
+}
+
+func (m *stallMapper) Map(key, value []byte, out Emitter) error {
+	time.Sleep(m.stall)
+	for _, w := range strings.Fields(string(value)) {
+		if err := out.Emit([]byte(w), []byte("1")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchmarkScheduler compares the barrier and pipelined engines on the
+// same word-count job: 8 splits (one 4x straggler), 4 workers, TCP
+// shuffle, latency-bound maps. Pipelined wall time should be at or
+// below barrier — shuffle fetches of completed maps run during the
+// straggler's tail instead of after it.
+func BenchmarkScheduler(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&sb, "word%03d ", i%50)
+	}
+	line := sb.String()
+	var splits []Split
+	for i := 0; i < 8; i++ {
+		n := 4
+		if i == 0 {
+			n = 16 // the straggler
+		}
+		recs := make([]Record, n)
+		for j := range recs {
+			recs[j] = Record{Value: []byte(line)}
+		}
+		splits = append(splits, &MemSplit{Recs: recs})
+	}
+	for _, scheduler := range []string{SchedulerBarrier, SchedulerPipelined} {
+		b.Run(scheduler, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				job := wordCountJob(true)
+				job.NewMapper = func() Mapper { return &stallMapper{stall: time.Millisecond} }
+				job.Scheduler = scheduler
+				job.Parallelism = 4
+				job.TCPShuffle = true
+				job.DiscardOutput = true
+				if _, err := Run(job, splits); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMapBufferSpill isolates the map-side sort-and-spill path.
 func BenchmarkMapBufferSpill(b *testing.B) {
 	job := wordCountJob(false)
@@ -49,7 +112,7 @@ func BenchmarkMapBufferSpill(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		counters := &Counters{}
-		buf := newMapBuffer(j, j.FS, counters, 0)
+		buf := newMapBuffer(j, j.FS, counters, 0, 0)
 		for rep := 0; rep < 20; rep++ {
 			for _, k := range keys {
 				if err := buf.add(int(k[len(k)-1]&3), k, value); err != nil {

@@ -2,6 +2,7 @@ package mr
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -10,7 +11,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/bytesx"
 	"repro/internal/codec"
@@ -535,7 +538,7 @@ func TestRunPool(t *testing.T) {
 	n := 100
 	seen := make([]bool, n)
 	var mu sync.Mutex
-	err := runPool(8, n, func(i int) error {
+	err := runPool(context.Background(), 8, n, func(_ context.Context, i int) error {
 		mu.Lock()
 		seen[i] = true
 		mu.Unlock()
@@ -550,7 +553,7 @@ func TestRunPool(t *testing.T) {
 		}
 	}
 	boom := errors.New("boom")
-	err = runPool(4, 50, func(i int) error {
+	err = runPool(context.Background(), 4, 50, func(_ context.Context, i int) error {
 		if i == 10 {
 			return boom
 		}
@@ -558,6 +561,34 @@ func TestRunPool(t *testing.T) {
 	})
 	if !errors.Is(err, boom) {
 		t.Errorf("pool error = %v", err)
+	}
+}
+
+// TestRunPoolCancelsInFlightSiblings: when one task fails, siblings
+// already dispatched must observe cancellation through their context
+// instead of running to completion.
+func TestRunPoolCancelsInFlightSiblings(t *testing.T) {
+	boom := errors.New("boom")
+	siblingRunning := make(chan struct{})
+	var sawCancel atomic.Bool
+	err := runPool(context.Background(), 2, 2, func(ctx context.Context, i int) error {
+		if i == 1 {
+			close(siblingRunning)
+			select {
+			case <-ctx.Done():
+				sawCancel.Store(true)
+			case <-time.After(5 * time.Second):
+			}
+			return nil
+		}
+		<-siblingRunning // fail only once the sibling is in flight
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("pool error = %v, want boom", err)
+	}
+	if !sawCancel.Load() {
+		t.Error("in-flight sibling never observed cancellation")
 	}
 }
 

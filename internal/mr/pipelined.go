@@ -1,0 +1,163 @@
+package mr
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sched"
+)
+
+func mapTaskName(i int) string      { return fmt.Sprintf("map/%d", i) }
+func fetchTaskName(p, i int) string { return fmt.Sprintf("fetch/%d/%d", p, i) }
+func reduceTaskName(p int) string   { return fmt.Sprintf("reduce/%d", p) }
+
+// mapOut is a map task's committed value.
+type mapOut struct {
+	segs []segment
+	dur  time.Duration
+}
+
+// runPipelined executes the job as an event-driven task graph:
+//
+//	map/i  ──►  fetch/p/i  ──►  reduce/p
+//
+// One fetch task exists per (reduce partition, map task); it becomes
+// runnable the moment its map task commits, so shuffle fetches overlap
+// still-running map tasks instead of waiting for a global map barrier.
+// A reduce task merges once all of its partition's fetches are local.
+// Task failures retry with backoff when transient and the job's attempt
+// budget allows; straggling map attempts may be speculatively
+// re-executed when Job.Speculative is set.
+func runPipelined(ctx context.Context, env *runEnv) (*Result, error) {
+	j := env.job
+	nMap := len(env.splits)
+	nRed := j.NumReduceTasks
+	_, localTransport := env.transport.(LocalTransport)
+
+	// shufflePer is written concurrently by a partition's fetch tasks.
+	shufflePer := make([]int64, nRed)
+
+	tasks := make([]sched.Task, 0, nMap+nMap*nRed+nRed)
+	for i := 0; i < nMap; i++ {
+		i := i
+		tasks = append(tasks, sched.Task{
+			Name:         mapTaskName(i),
+			Group:        TaskGroupMap,
+			Speculatable: j.Speculative,
+			Run: func(ctx context.Context, tc *sched.TaskContext) (any, error) {
+				t0 := time.Now()
+				segs, err := runMapTask(ctx, j, env.fs, env.counters, i, tc.Attempt, env.splits[i])
+				if err != nil {
+					return nil, err
+				}
+				return mapOut{segs: segs, dur: time.Since(t0)}, nil
+			},
+		})
+	}
+	for p := 0; p < nRed; p++ {
+		for i := 0; i < nMap; i++ {
+			p, i := p, i
+			tasks = append(tasks, sched.Task{
+				Name:  fetchTaskName(p, i),
+				Group: TaskGroupFetch,
+				Deps:  []string{mapTaskName(i)},
+				Run: func(ctx context.Context, tc *sched.TaskContext) (any, error) {
+					t0 := time.Now()
+					defer func() { env.counters.reduceTaskNs.Add(time.Since(t0).Nanoseconds()) }()
+					var segs []segment
+					for _, s := range tc.Dep(mapTaskName(i)).(mapOut).segs {
+						if s.partition == p {
+							segs = append(segs, s)
+						}
+					}
+					if len(segs) == 0 {
+						return []segment(nil), nil
+					}
+					if err := accountShuffle(env.counters, env.fs, segs); err != nil {
+						return nil, err
+					}
+					var flow int64
+					for _, s := range segs {
+						size, err := j.FS.Size(s.file)
+						if err != nil {
+							return nil, err
+						}
+						flow += size
+					}
+					atomic.AddInt64(&shufflePer[p], flow)
+					if !localTransport {
+						prefix := fmt.Sprintf("%s/r%04d/m%04d.a%d.fetch", j.Name, p, i, tc.Attempt)
+						fetched, err := fetchSegments(ctx, env.fs, env.transport, j, p, prefix, segs)
+						if err != nil {
+							return nil, err
+						}
+						segs = fetched
+					}
+					return segs, nil
+				},
+			})
+		}
+	}
+	for p := 0; p < nRed; p++ {
+		p := p
+		deps := make([]string, nMap)
+		for i := range deps {
+			deps[i] = fetchTaskName(p, i)
+		}
+		tasks = append(tasks, sched.Task{
+			Name:  reduceTaskName(p),
+			Group: TaskGroupReduce,
+			Deps:  deps,
+			Run: func(ctx context.Context, tc *sched.TaskContext) (any, error) {
+				t0 := time.Now()
+				defer func() { env.counters.reduceTaskNs.Add(time.Since(t0).Nanoseconds()) }()
+				// Assemble segments in map-task order so the k-way merge
+				// sees the same stream order as the barrier engine and
+				// the two produce byte-identical output.
+				var segs []segment
+				for i := 0; i < nMap; i++ {
+					segs = append(segs, tc.Dep(fetchTaskName(p, i)).([]segment)...)
+				}
+				return reduceMerge(ctx, j, env.fs, env.counters, p, tc.Attempt, segs)
+			},
+		})
+	}
+
+	cfg := sched.Config{
+		Workers:     j.Parallelism,
+		MaxAttempts: j.MaxTaskAttempts,
+		Backoff:     j.RetryBackoff,
+		Speculate:   j.Speculative,
+	}
+	if j.MaxTaskAttempts > 1 {
+		cfg.Retryable = isTransientErr
+	}
+	report, err := sched.Run(ctx, tasks, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	mapTimes := make([]time.Duration, nMap)
+	for i := 0; i < nMap; i++ {
+		mapTimes[i] = report.Value(mapTaskName(i)).(mapOut).dur
+	}
+	output := make([][]Record, nRed)
+	reduceTimes := make([]time.Duration, nRed)
+	for p := 0; p < nRed; p++ {
+		output[p] = report.Value(reduceTaskName(p)).([]Record)
+		reduceTimes[p] = report.TaskDuration(reduceTaskName(p))
+	}
+	flows := make([]int64, nRed)
+	for p := range flows {
+		flows[p] = atomic.LoadInt64(&shufflePer[p])
+	}
+	return &Result{
+		Output:              output,
+		ShufflePerPartition: flows,
+		ReduceTaskTimes:     reduceTimes,
+		MapTaskTimes:        mapTimes,
+		Timeline:            report.Attempts,
+	}, nil
+}

@@ -1,27 +1,75 @@
 package mr
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"time"
 
 	"repro/internal/bytesx"
 	"repro/internal/iokit"
 )
 
-// runMapTask executes one map task: run the Mapper over the split,
-// collect/sort/spill its output, and return the final per-partition
-// segments. The task's single-threaded wall time is charged as map CPU.
-func runMapTask(job *Job, fs iokit.FS, counters *Counters, taskID int, split Split) ([]segment, error) {
+// ctxCheckInterval is how many records (or key groups) a task processes
+// between context-cancellation checks: frequent enough that a cancelled
+// sibling stops promptly, rare enough to stay off the per-record path.
+const ctxCheckInterval = 64
+
+// errShortFetch marks a shuffle fetch that delivered fewer bytes than
+// the server advertised — a connection-level fault (the peer died or
+// its read failed mid-stream), so it is classified transient.
+var errShortFetch = errors.New("mr: short shuffle fetch")
+
+// isTransientErr classifies errors worth retrying: injected I/O faults
+// from the fault-injection harness and connection-level shuffle
+// failures. Context cancellation is never transient — it means the job
+// (or a speculative race) already decided this attempt's fate.
+func isTransientErr(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, iokit.ErrInjected) || errors.Is(err, errShortFetch) {
+		return true
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) {
+		return true
+	}
+	var operr *net.OpError
+	return errors.As(err, &operr)
+}
+
+// mapTaskDir names a map task's output directory. Attempt 0 keeps the
+// historical layout; retries and speculative duplicates get their own
+// directory so concurrent attempts never clobber each other's files.
+func mapTaskDir(job *Job, taskID, attempt int) string {
+	if attempt == 0 {
+		return fmt.Sprintf("%s/m%04d", job.Name, taskID)
+	}
+	return fmt.Sprintf("%s/m%04d.a%d", job.Name, taskID, attempt)
+}
+
+// runMapTask executes one attempt of a map task: run the Mapper over
+// the split, collect/sort/spill its output, and return the final
+// per-partition segments. The task's single-threaded wall time is
+// charged as map CPU. ctx cancellation is observed between input
+// records so cancelled attempts stop promptly.
+func runMapTask(ctx context.Context, job *Job, fs iokit.FS, counters *Counters, taskID, attempt int, split Split) ([]segment, error) {
 	start := time.Now()
 	defer func() { counters.mapTaskNs.Add(time.Since(start).Nanoseconds()) }()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mr: map task %d: %w", taskID, err)
+	}
 
-	buf := newMapBuffer(job, fs, counters, taskID)
+	buf := newMapBuffer(job, fs, counters, taskID, attempt)
 	mapper := job.NewMapper()
 	info := &TaskInfo{
 		JobName:       job.Name,
 		TaskID:        taskID,
 		Partition:     -1,
+		Attempt:       attempt,
 		NumPartitions: job.NumReduceTasks,
 		Partitioner:   job.Partitioner,
 		KeyCompare:    job.KeyCompare,
@@ -41,7 +89,13 @@ func runMapTask(job *Job, fs iokit.FS, counters *Counters, taskID int, split Spl
 	if err := mapper.Setup(info, out); err != nil {
 		return nil, fmt.Errorf("mr: map task %d setup: %w", taskID, err)
 	}
+	var seen int
 	err := split.Records(func(k, v []byte) error {
+		if seen++; seen%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		counters.mapInputRecords.Add(1)
 		return mapper.Map(k, v, out)
 	})
@@ -58,39 +112,67 @@ func runMapTask(job *Job, fs iokit.FS, counters *Counters, taskID int, split Spl
 	return segs, nil
 }
 
-// runReduceTask executes one reduce task: fetch the partition's segments
-// from every map task (the shuffle — every fetched byte is metered as
-// transfer), merge them in key order, and invoke Reduce per key group.
-func runReduceTask(job *Job, fs iokit.FS, counters *Counters, transport Transport, partition int, segs []segment) ([]Record, error) {
-	start := time.Now()
-	defer func() { counters.reduceTaskNs.Add(time.Since(start).Nanoseconds()) }()
-
+// accountShuffle meters a reduce partition's incoming segments: wire
+// bytes (post-codec) and framed record counts.
+func accountShuffle(counters *Counters, fs iokit.FS, segs []segment) error {
 	for _, s := range segs {
 		size, err := fs.Size(s.file)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		counters.shuffleBytes.Add(size)
 		counters.reduceInRecords.Add(s.records)
+	}
+	return nil
+}
+
+// runReduceTask executes one reduce task under the barrier scheduler:
+// meter the shuffle, fetch the partition's segments from every map task
+// over the transport, merge them in key order, and invoke Reduce per
+// key group. (The pipelined scheduler splits this into per-map fetch
+// tasks plus a reduceMerge task; see pipelined.go.)
+func runReduceTask(ctx context.Context, job *Job, fs iokit.FS, counters *Counters, transport Transport, partition int, segs []segment) ([]Record, error) {
+	start := time.Now()
+	defer func() { counters.reduceTaskNs.Add(time.Since(start).Nanoseconds()) }()
+
+	if err := accountShuffle(counters, fs, segs); err != nil {
+		return nil, err
 	}
 
 	// A non-local transport first copies each segment to a reducer-local
 	// file through the real network path (Hadoop's fetch phase).
 	if _, local := transport.(LocalTransport); !local {
-		fetched, err := fetchSegments(fs, counters, transport, job, partition, segs)
+		prefix := fmt.Sprintf("%s/r%04d/fetch", job.Name, partition)
+		fetched, err := fetchSegments(ctx, fs, transport, job, partition, prefix, segs)
 		if err != nil {
 			return nil, err
 		}
 		segs = fetched
 	}
 
+	return reduceMerge(ctx, job, fs, counters, partition, 0, segs)
+}
+
+// reduceMerge is the compute half of a reduce task: merge the
+// partition's (already local) sorted segments and invoke Reduce once
+// per key group. attempt scopes intermediate file names so scheduler
+// retries never collide with a previous attempt's partial output.
+func reduceMerge(ctx context.Context, job *Job, fs iokit.FS, counters *Counters, partition, attempt int, segs []segment) ([]Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mr: reduce task %d: %w", partition, err)
+	}
+
 	// A very wide shuffle is first merged down on "disk" so the final
 	// streaming merge stays within the merge factor (Hadoop's
-	// reduce-side merge).
+	// reduce-side merge). When retries are enabled the merge keeps its
+	// inputs so a later attempt can redo the pass from intact files.
 	if len(segs) > job.MergeFactor {
-		merged, err := mergeSegments(job, fs, counters,
-			fmt.Sprintf("%s/r%04d/merged", job.Name, partition),
-			partition, segs, false, partition)
+		name := fmt.Sprintf("%s/r%04d/merged", job.Name, partition)
+		if attempt > 0 {
+			name = fmt.Sprintf("%s.a%d", name, attempt)
+		}
+		merged, err := mergeSegments(job, fs, counters, name,
+			partition, segs, false, partition, job.MaxTaskAttempts == 1)
 		if err != nil {
 			return nil, err
 		}
@@ -116,6 +198,7 @@ func runReduceTask(job *Job, fs iokit.FS, counters *Counters, transport Transpor
 		JobName:       job.Name,
 		TaskID:        partition,
 		Partition:     partition,
+		Attempt:       attempt,
 		NumPartitions: job.NumReduceTasks,
 		Partitioner:   job.Partitioner,
 		KeyCompare:    job.KeyCompare,
@@ -134,7 +217,13 @@ func runReduceTask(job *Job, fs iokit.FS, counters *Counters, transport Transpor
 	if err := reducer.Setup(info, out); err != nil {
 		return nil, fmt.Errorf("mr: reduce task %d setup: %w", partition, err)
 	}
+	var groups int
 	for {
+		if groups++; groups%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("mr: reduce task %d: %w", partition, err)
+			}
+		}
 		key, ok, err := grouped.nextGroup()
 		if err != nil {
 			return nil, fmt.Errorf("mr: reduce task %d merge: %w", partition, err)
@@ -157,15 +246,19 @@ func runReduceTask(job *Job, fs iokit.FS, counters *Counters, transport Transpor
 }
 
 // fetchSegments copies remote segments to reducer-local files over the
-// transport, returning local replacements.
-func fetchSegments(fs iokit.FS, counters *Counters, transport Transport, job *Job, partition int, segs []segment) ([]segment, error) {
+// transport, returning local replacements. Local file names are derived
+// from prefix, which callers scope per (partition, map task, attempt).
+func fetchSegments(ctx context.Context, fs iokit.FS, transport Transport, job *Job, partition int, prefix string, segs []segment) ([]segment, error) {
 	local := make([]segment, len(segs))
 	for i, s := range segs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mr: reduce task %d fetch: %w", partition, err)
+		}
 		rc, size, err := transport.Fetch(fs, s.file)
 		if err != nil {
 			return nil, fmt.Errorf("mr: reduce task %d fetching %s: %w", partition, s.file, err)
 		}
-		name := fmt.Sprintf("%s/r%04d/fetch%04d", job.Name, partition, i)
+		name := fmt.Sprintf("%s%04d", prefix, i)
 		f, err := fs.Create(name)
 		if err != nil {
 			rc.Close()
@@ -180,7 +273,8 @@ func fetchSegments(fs iokit.FS, counters *Counters, transport Transport, job *Jo
 			return nil, fmt.Errorf("mr: reduce task %d copying %s: %w", partition, s.file, err)
 		}
 		if n != size {
-			return nil, fmt.Errorf("mr: reduce task %d fetched %d bytes of %s, want %d", partition, n, s.file, size)
+			return nil, fmt.Errorf("mr: reduce task %d fetched %d bytes of %s, want %d: %w",
+				partition, n, s.file, size, errShortFetch)
 		}
 		local[i] = segment{partition: partition, file: name, records: s.records, rawBytes: s.rawBytes}
 	}

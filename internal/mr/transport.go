@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/iokit"
 )
@@ -145,35 +146,67 @@ func (b *byteReader) ReadByte() (byte, error) {
 	return b.one[0], nil
 }
 
+// Fetch retry policy: connection-level failures (dial errors, a peer
+// dropping the connection before the response header arrives) are
+// retried a bounded number of times with exponential backoff, like
+// Hadoop's fetch retries. Server-reported errors (e.g. a missing
+// segment) are authoritative and fail immediately.
+const (
+	fetchAttempts     = 3
+	fetchRetryBackoff = 2 * time.Millisecond
+)
+
 // Fetch implements Transport: it dials the loopback server and streams
-// the segment over the socket.
+// the segment over the socket, retrying connection-level failures.
 func (t *TCPTransport) Fetch(_ iokit.FS, name string) (io.ReadCloser, int64, error) {
+	var lastErr error
+	for attempt := 0; attempt < fetchAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(fetchRetryBackoff << (attempt - 1))
+		}
+		rc, size, err, retryable := t.fetchOnce(name)
+		if err == nil {
+			return rc, size, nil
+		}
+		if !retryable {
+			return nil, 0, err
+		}
+		lastErr = err
+	}
+	return nil, 0, fmt.Errorf("mr: shuffle fetch %s failed after %d attempts: %w",
+		name, fetchAttempts, lastErr)
+}
+
+// fetchOnce performs a single fetch handshake. retryable reports
+// whether the failure happened at the connection level (before a valid
+// response header), where a retry may see a healthy connection.
+func (t *TCPTransport) fetchOnce(name string) (rc io.ReadCloser, size int64, err error, retryable bool) {
 	conn, err := net.Dial("tcp", t.ln.Addr().String())
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, err, true
 	}
 	req := binary.AppendUvarint(nil, uint64(len(name)))
 	req = append(req, name...)
 	if _, err := conn.Write(req); err != nil {
 		conn.Close()
-		return nil, 0, err
+		return nil, 0, err, true
 	}
 	br := &byteReader{r: conn}
 	sizePlus, err := binary.ReadUvarint(br)
 	if err != nil {
 		conn.Close()
-		return nil, 0, err
+		return nil, 0, err, true
 	}
 	if sizePlus == 0 {
 		msg, err := readLenPrefixed(conn)
 		conn.Close()
 		if err != nil {
-			return nil, 0, fmt.Errorf("mr: shuffle fetch failed: %w", err)
+			return nil, 0, fmt.Errorf("mr: shuffle fetch failed: %w", err), true
 		}
-		return nil, 0, fmt.Errorf("mr: shuffle fetch %s: %s", name, msg)
+		return nil, 0, fmt.Errorf("mr: shuffle fetch %s: %s", name, msg), false
 	}
-	size := int64(sizePlus - 1)
-	return &fetchReader{conn: conn, remaining: size}, size, nil
+	size = int64(sizePlus - 1)
+	return &fetchReader{conn: conn, remaining: size}, size, nil, false
 }
 
 type fetchReader struct {

@@ -2,7 +2,9 @@ package mr
 
 import (
 	"io"
+	"net"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/iokit"
@@ -151,5 +153,82 @@ func TestJobOverTCPShuffle(t *testing.T) {
 	if networked.Stats.ShuffleBytes != local.Stats.ShuffleBytes {
 		t.Errorf("shuffle accounting differs: %d vs %d",
 			networked.Stats.ShuffleBytes, local.Stats.ShuffleBytes)
+	}
+}
+
+// droppingListener wraps a real listener and proxies connections to a
+// backend transport, but slams the door on the first N accepted
+// connections — modelling a shuffle server whose accept queue hiccups.
+type droppingListener struct {
+	front   net.Listener
+	backend string
+	drop    int32
+}
+
+func (d *droppingListener) run() {
+	for {
+		conn, err := d.front.Accept()
+		if err != nil {
+			return
+		}
+		if atomic.AddInt32(&d.drop, -1) >= 0 {
+			conn.Close() // dropped before any response header
+			continue
+		}
+		go func() {
+			defer conn.Close()
+			back, err := net.Dial("tcp", d.backend)
+			if err != nil {
+				return
+			}
+			defer back.Close()
+			go io.Copy(back, conn)
+			io.Copy(conn, back)
+		}()
+	}
+}
+
+// TestTCPFetchRetriesDroppedConnection: a connection dropped before the
+// response header is a retryable fetch failure; the bounded retry in
+// TCPTransport.Fetch recovers without surfacing an error.
+func TestTCPFetchRetriesDroppedConnection(t *testing.T) {
+	fs := iokit.NewMemFS()
+	payload := strings.Repeat("retryable segment ", 500)
+	w, _ := fs.Create("seg")
+	w.Write([]byte(payload))
+	w.Close()
+
+	backend, err := NewTCPTransport(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend.Close()
+
+	front, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+	dl := &droppingListener{front: front, backend: backend.Addr(), drop: 1}
+	go dl.run()
+
+	// A client transport that dials the dropping front door. Fetch only
+	// consults ln.Addr, so wiring the listener in directly is enough.
+	client := &TCPTransport{fs: fs, ln: front}
+	rc, size, err := client.Fetch(fs, "seg")
+	if err != nil {
+		t.Fatalf("fetch should survive one dropped connection: %v", err)
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || string(got) != payload || size != int64(len(payload)) {
+		t.Fatalf("payload mismatch after retry: size=%d err=%v", size, err)
+	}
+
+	// Drop more connections than the retry budget: the error must name
+	// the exhausted attempts.
+	atomic.StoreInt32(&dl.drop, fetchAttempts)
+	if _, _, err := client.Fetch(fs, "seg"); err == nil || !strings.Contains(err.Error(), "attempts") {
+		t.Fatalf("fetch beyond retry budget: err = %v", err)
 	}
 }

@@ -35,9 +35,13 @@ func (f EmitterFunc) Emit(key, value []byte) error { return f(key, value) }
 // as Anti-Combining can re-derive record routing, as the paper's
 // AntiMapper and AntiReducer do through Hadoop's context object.
 type TaskInfo struct {
-	JobName       string
-	TaskID        int
-	Partition     int
+	JobName   string
+	TaskID    int
+	Partition int
+	// Attempt is the 0-based execution attempt of the enclosing task
+	// (>0 after scheduler retries or for speculative duplicates; always
+	// 0 for merge-time combiner instances).
+	Attempt       int
 	NumPartitions int
 	Partitioner   Partitioner
 	KeyCompare    bytesx.Compare

@@ -1,0 +1,472 @@
+// Package sched is an event-driven DAG task scheduler: tasks declare
+// dependencies, a bounded worker pool executes attempts, and a single
+// coordinator goroutine reacts to completion events — dispatching each
+// task the moment its last dependency commits instead of waiting for a
+// phase barrier. It adds what a barrier loop cannot express:
+//
+//   - retry with exponential backoff for attempts that fail with an
+//     error the caller classifies as transient;
+//   - speculative re-execution of stragglers (Hadoop's speculative
+//     tasks): a duplicate attempt is launched when a running attempt
+//     exceeds a multiple of its group's median duration, the first
+//     finisher wins, and the loser's context is cancelled;
+//   - prompt job-wide cancellation on fatal failure, plumbed to every
+//     in-flight attempt via context.Context;
+//   - a structured per-attempt timeline (queued/start/finish, outcome)
+//     so consumers can measure real phase overlap instead of assuming
+//     serialization.
+//
+// The mr engine uses it to pipeline shuffle fetches against
+// still-running map tasks, but the package knows nothing about
+// MapReduce: tasks are opaque closures returning opaque values.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is one node of the DAG. Run is invoked once per attempt; it must
+// honor ctx cancellation promptly (a loser of a speculative race or a
+// sibling of a failed task is cancelled, not killed). The returned value
+// is committed only for the winning attempt and is visible to dependent
+// tasks via TaskContext.Dep.
+type Task struct {
+	// Name uniquely identifies the task and keys Dep lookups.
+	Name string
+	// Group labels the task for timeline analysis and speculation
+	// statistics (e.g. "map", "fetch", "reduce").
+	Group string
+	// Deps lists task names that must commit before this task runs.
+	Deps []string
+	// Speculatable marks the task eligible for speculative duplicate
+	// attempts when it straggles behind its group's median duration.
+	Speculatable bool
+	// Run executes one attempt. Attempts of one task may run
+	// concurrently (speculation), so Run must not share mutable state
+	// across attempts except through attempt-scoped names.
+	Run func(ctx context.Context, tc *TaskContext) (any, error)
+}
+
+// TaskContext carries per-attempt information into Run.
+type TaskContext struct {
+	// Attempt is the 0-based attempt index, unique per task across
+	// retries and speculative duplicates (use it to scope file names).
+	Attempt int
+	// Speculative reports whether this attempt is a speculative
+	// duplicate of a still-running attempt.
+	Speculative bool
+
+	s *scheduler
+}
+
+// Dep returns the committed value of a completed dependency. It must
+// only be called with names listed in the task's Deps.
+func (tc *TaskContext) Dep(name string) any { return tc.s.value(name) }
+
+// Config tunes a scheduler run. The zero value is usable: GOMAXPROCS
+// workers, no retries, no speculation.
+type Config struct {
+	// Workers bounds concurrently executing attempts.
+	Workers int
+	// MaxAttempts caps sequential attempts per task (1 = no retries).
+	MaxAttempts int
+	// Retryable classifies errors worth retrying; nil disables retries
+	// regardless of MaxAttempts.
+	Retryable func(error) bool
+	// Backoff is the delay before the first retry, doubling per
+	// subsequent failure up to MaxBackoff. Defaults to 1ms / 250ms.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Speculate enables speculative duplicate attempts for tasks marked
+	// Speculatable.
+	Speculate bool
+	// SpeculationFactor is the multiple of the group's median winning
+	// duration a running attempt must exceed to be considered a
+	// straggler (default 2).
+	SpeculationFactor float64
+	// SpeculationMin is the minimum elapsed time before speculation
+	// (default 20ms), so short tasks never speculate.
+	SpeculationMin time.Duration
+	// SpeculationInterval is the straggler scan period (default 5ms).
+	SpeculationInterval time.Duration
+}
+
+func (c Config) normalized() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 1
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 250 * time.Millisecond
+	}
+	if c.SpeculationFactor <= 1 {
+		c.SpeculationFactor = 2
+	}
+	if c.SpeculationMin <= 0 {
+		c.SpeculationMin = 20 * time.Millisecond
+	}
+	if c.SpeculationInterval <= 0 {
+		c.SpeculationInterval = 5 * time.Millisecond
+	}
+	return c
+}
+
+// Report is the outcome of a successful Run.
+type Report struct {
+	// Attempts is the full per-attempt timeline in completion order.
+	Attempts []Attempt
+
+	values    map[string]any
+	durations map[string]time.Duration
+}
+
+// Value returns the committed value of a task by name.
+func (r *Report) Value(name string) any { return r.values[name] }
+
+// TaskDuration returns the winning attempt's Run duration for a task.
+func (r *Report) TaskDuration(name string) time.Duration { return r.durations[name] }
+
+type node struct {
+	task       Task
+	waiting    int // unmet dependencies
+	dependents []*node
+
+	done         bool
+	failures     int // attempts that genuinely failed (not cancelled/lost)
+	attempts     int // attempts launched (numbers the next attempt)
+	running      int // attempts in flight
+	specLaunched bool
+	retryPending bool
+	cancels      map[int]context.CancelFunc
+	winDur       time.Duration
+
+	// curStart is the unix-nano start time of the attempt currently
+	// running (0 when none); written by worker goroutines, read by the
+	// coordinator's straggler scan.
+	curStart atomic.Int64
+}
+
+type completion struct {
+	n           *node
+	attempt     int
+	speculative bool
+	value       any
+	err         error
+	queued      time.Time
+	started     time.Time
+	finished    time.Time
+}
+
+type scheduler struct {
+	cfg   Config
+	nodes map[string]*node
+	order []*node
+
+	sem     chan struct{}
+	events  chan completion
+	retries chan *node
+
+	mu     sync.RWMutex
+	values map[string]any
+
+	attemptsLog []Attempt
+	groupDur    map[string][]time.Duration
+}
+
+func (s *scheduler) value(name string) any {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.values[name]
+}
+
+func (s *scheduler) commit(name string, v any) {
+	s.mu.Lock()
+	s.values[name] = v
+	s.mu.Unlock()
+}
+
+// Run executes the task DAG and blocks until every task committed or
+// one failed fatally (non-retryable error or retry budget exhausted).
+// On failure the first fatal error is returned, every in-flight attempt
+// is cancelled, and Run waits for them to drain before returning.
+func Run(ctx context.Context, tasks []Task, cfg Config) (*Report, error) {
+	cfg = cfg.normalized()
+	s, err := newScheduler(tasks, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(ctx)
+}
+
+func newScheduler(tasks []Task, cfg Config) (*scheduler, error) {
+	s := &scheduler{
+		cfg:      cfg,
+		nodes:    make(map[string]*node, len(tasks)),
+		sem:      make(chan struct{}, cfg.Workers),
+		events:   make(chan completion),
+		retries:  make(chan *node),
+		values:   make(map[string]any, len(tasks)),
+		groupDur: make(map[string][]time.Duration),
+	}
+	for _, t := range tasks {
+		if t.Name == "" {
+			return nil, fmt.Errorf("sched: task with empty name")
+		}
+		if t.Run == nil {
+			return nil, fmt.Errorf("sched: task %s has no Run", t.Name)
+		}
+		if _, dup := s.nodes[t.Name]; dup {
+			return nil, fmt.Errorf("sched: duplicate task %s", t.Name)
+		}
+		n := &node{task: t, cancels: make(map[int]context.CancelFunc)}
+		s.nodes[t.Name] = n
+		s.order = append(s.order, n)
+	}
+	for _, n := range s.order {
+		for _, d := range n.task.Deps {
+			dep, ok := s.nodes[d]
+			if !ok {
+				return nil, fmt.Errorf("sched: task %s depends on unknown task %s", n.task.Name, d)
+			}
+			dep.dependents = append(dep.dependents, n)
+			n.waiting++
+		}
+	}
+	// Kahn's algorithm purely as cycle detection.
+	indeg := make(map[*node]int, len(s.order))
+	var q []*node
+	for _, n := range s.order {
+		indeg[n] = n.waiting
+		if n.waiting == 0 {
+			q = append(q, n)
+		}
+	}
+	seen := 0
+	for len(q) > 0 {
+		n := q[len(q)-1]
+		q = q[:len(q)-1]
+		seen++
+		for _, d := range n.dependents {
+			if indeg[d]--; indeg[d] == 0 {
+				q = append(q, d)
+			}
+		}
+	}
+	if seen != len(s.order) {
+		return nil, fmt.Errorf("sched: dependency cycle among %d tasks", len(s.order)-seen)
+	}
+	return s, nil
+}
+
+func (s *scheduler) run(ctx context.Context) (*Report, error) {
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var jobErr error
+	fail := func(err error) {
+		if jobErr == nil {
+			jobErr = err
+			cancel()
+		}
+	}
+
+	doneCount, inflight, pendingRetries := 0, 0, 0
+
+	launch := func(n *node, speculative bool) {
+		attempt := n.attempts
+		n.attempts++
+		n.running++
+		inflight++
+		actx, acancel := context.WithCancel(jobCtx)
+		n.cancels[attempt] = acancel
+		queued := time.Now()
+		tc := &TaskContext{Attempt: attempt, Speculative: speculative, s: s}
+		go func() {
+			s.sem <- struct{}{}
+			started := time.Now()
+			n.curStart.CompareAndSwap(0, started.UnixNano())
+			var v any
+			var err error
+			if cerr := actx.Err(); cerr != nil {
+				err = cerr // cancelled while queued for a worker slot
+			} else {
+				v, err = n.task.Run(actx, tc)
+			}
+			<-s.sem
+			s.events <- completion{
+				n: n, attempt: attempt, speculative: speculative,
+				value: v, err: err,
+				queued: queued, started: started, finished: time.Now(),
+			}
+		}()
+	}
+
+	handle := func(c completion) {
+		n := c.n
+		inflight--
+		n.running--
+		if cf, ok := n.cancels[c.attempt]; ok {
+			cf()
+			delete(n.cancels, c.attempt)
+		}
+		if n.running == 0 {
+			n.curStart.Store(0)
+		}
+		a := Attempt{
+			Task: n.task.Name, Group: n.task.Group,
+			Attempt: c.attempt, Speculative: c.speculative,
+			Queued: c.queued, Started: c.started, Finished: c.finished,
+		}
+		if c.err == nil {
+			if n.done {
+				a.Outcome = OutcomeLostRace
+			} else {
+				n.done = true
+				doneCount++
+				a.Outcome = OutcomeSuccess
+				s.commit(n.task.Name, c.value)
+				n.winDur = c.finished.Sub(c.started)
+				s.groupDur[n.task.Group] = append(s.groupDur[n.task.Group], n.winDur)
+				for _, cf := range n.cancels {
+					cf() // first finisher wins; cancel racing attempts
+				}
+				if jobErr == nil {
+					for _, d := range n.dependents {
+						if d.waiting--; d.waiting == 0 {
+							launch(d, false)
+						}
+					}
+				}
+			}
+		} else {
+			a.Err = c.err.Error()
+			switch {
+			case n.done:
+				a.Outcome = OutcomeLostRace
+			case jobErr != nil:
+				a.Outcome = OutcomeCancelled
+			default:
+				n.failures++
+				switch {
+				case n.running > 0:
+					// A racing attempt may still win; defer judgment.
+					a.Outcome = OutcomeFailed
+				case s.cfg.Retryable != nil && s.cfg.Retryable(c.err) && n.failures < s.cfg.MaxAttempts:
+					a.Outcome = OutcomeRetrying
+					n.retryPending = true
+					pendingRetries++
+					backoff := s.cfg.Backoff << (n.failures - 1)
+					if backoff > s.cfg.MaxBackoff || backoff <= 0 {
+						backoff = s.cfg.MaxBackoff
+					}
+					nn := n
+					time.AfterFunc(backoff, func() { s.retries <- nn })
+				default:
+					a.Outcome = OutcomeFailed
+					fail(fmt.Errorf("sched: task %s failed (attempt %d of %d): %w",
+						n.task.Name, n.failures, s.cfg.MaxAttempts, c.err))
+				}
+			}
+		}
+		s.attemptsLog = append(s.attemptsLog, a)
+	}
+
+	for _, n := range s.order {
+		if n.waiting == 0 {
+			launch(n, false)
+		}
+	}
+
+	var tickCh <-chan time.Time
+	if s.cfg.Speculate {
+		t := time.NewTicker(s.cfg.SpeculationInterval)
+		defer t.Stop()
+		tickCh = t.C
+	}
+	extDone := ctx.Done()
+
+	for {
+		if jobErr != nil {
+			if inflight == 0 && pendingRetries == 0 {
+				break
+			}
+		} else if doneCount == len(s.order) && inflight == 0 {
+			break
+		}
+		select {
+		case c := <-s.events:
+			handle(c)
+		case n := <-s.retries:
+			pendingRetries--
+			n.retryPending = false
+			if jobErr == nil && !n.done {
+				launch(n, false)
+			}
+		case <-tickCh:
+			if jobErr == nil {
+				s.speculate(launch)
+			}
+		case <-extDone:
+			fail(ctx.Err())
+			extDone = nil
+		}
+	}
+
+	if jobErr != nil {
+		return nil, jobErr
+	}
+	rep := &Report{
+		Attempts:  s.attemptsLog,
+		values:    s.values,
+		durations: make(map[string]time.Duration, len(s.order)),
+	}
+	for _, n := range s.order {
+		rep.durations[n.task.Name] = n.winDur
+	}
+	return rep, nil
+}
+
+// speculate launches a duplicate attempt for each running Speculatable
+// task whose elapsed time exceeds the straggler threshold for its group.
+func (s *scheduler) speculate(launch func(*node, bool)) {
+	now := time.Now()
+	for _, n := range s.order {
+		if n.done || n.specLaunched || n.retryPending || n.running != 1 || !n.task.Speculatable {
+			continue
+		}
+		st := n.curStart.Load()
+		if st == 0 {
+			continue
+		}
+		durs := s.groupDur[n.task.Group]
+		if len(durs) == 0 {
+			continue // no finished sibling to compare against
+		}
+		threshold := time.Duration(s.cfg.SpeculationFactor * float64(median(durs)))
+		if threshold < s.cfg.SpeculationMin {
+			threshold = s.cfg.SpeculationMin
+		}
+		if now.Sub(time.Unix(0, st)) > threshold {
+			n.specLaunched = true
+			launch(n, true)
+		}
+	}
+}
+
+func median(durs []time.Duration) time.Duration {
+	sorted := make([]time.Duration, len(durs))
+	copy(sorted, durs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}

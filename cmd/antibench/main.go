@@ -17,10 +17,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 type renderer interface{ Render(w io.Writer) }
@@ -50,6 +53,7 @@ var registry = []experiment{
 	{"window", "X2 extension: cross-call EagerSH window (§9 future work)", adapt(experiments.CrossCall)},
 	{"netsweep", "X3 extension: runtime benefit vs network speed", adapt(experiments.NetworkSweep)},
 	{"skew", "X4 extension: reducer load skew under LazySH (§6.2)", adapt(experiments.Skew)},
+	{"sort", "OBS traced prefix-sort with forced Shared spilling (use with -trace)", adapt(experiments.Sort)},
 }
 
 func main() {
@@ -62,6 +66,11 @@ func main() {
 		par      = flag.Int("parallelism", 0, "concurrent tasks (0 = GOMAXPROCS); 1 gives the most stable CPU numbers")
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
 		list     = flag.Bool("list", false, "list experiments and exit")
+
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file covering every job run")
+		metrics  = flag.String("metrics", "", "write live metrics snapshots (JSONL) to this file ('-' for stderr)")
+		interval = flag.Duration("metrics-interval", 500*time.Millisecond, "live metrics snapshot interval")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -72,12 +81,37 @@ func main() {
 		return
 	}
 
+	if *pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "antibench: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "antibench: pprof on http://%s/debug/pprof/\n", *pprof)
+	}
+
 	cfg := experiments.Config{
 		Scale:       *scale,
 		Seed:        *seed,
 		Reducers:    *reducers,
 		Splits:      *splits,
 		Parallelism: *par,
+	}
+
+	if *traceOut != "" {
+		cfg.Tracer = obs.NewTracer()
+		defer writeTrace(cfg.Tracer, *traceOut)
+	}
+	if *metrics != "" {
+		w, closeFn, err := metricsWriter(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "antibench: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Metrics = obs.NewRegistry()
+		rep := obs.NewReporter(w, cfg.Metrics, *interval)
+		defer closeFn()
+		defer rep.Stop()
 	}
 
 	selected := registry[:0:0]
@@ -116,4 +150,36 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeTrace exports the collected spans as Chrome trace-event JSON
+// (open with chrome://tracing or https://ui.perfetto.dev).
+func writeTrace(t *obs.Tracer, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "antibench: creating trace file: %v\n", err)
+		return
+	}
+	err = t.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "antibench: writing trace: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "antibench: wrote %d spans to %s\n", len(t.Spans()), path)
+}
+
+// metricsWriter opens the live-metrics sink: a file path, or '-' for
+// stderr (stdout carries the result tables).
+func metricsWriter(path string) (io.Writer, func(), error) {
+	if path == "-" {
+		return os.Stderr, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("creating metrics file: %w", err)
+	}
+	return f, func() { f.Close() }, nil
 }

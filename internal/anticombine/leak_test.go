@@ -1,0 +1,250 @@
+package anticombine
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bytesx"
+	"repro/internal/iokit"
+	"repro/internal/mr"
+	"repro/internal/obs"
+)
+
+// spillingShared builds a Shared under heavy spill pressure on fs.
+func spillingShared(fs iokit.FS) *Shared {
+	return NewShared(SharedConfig{
+		KeyCompare:    bytesx.Bytes,
+		MemLimitBytes: 64,
+		MergeFactor:   2,
+		FS:            fs,
+		Prefix:        "leaktest",
+	})
+}
+
+// fillShared adds enough keyed values to force spills and merges.
+func fillShared(t *testing.T, s *Shared, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key%03d", i%40)
+		v := fmt.Sprintf("value%05d", i)
+		if err := s.Add([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Spills() == 0 {
+		t.Fatal("setup: expected spills")
+	}
+}
+
+func listFiles(t *testing.T, fs iokit.FS) []string {
+	t.Helper()
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestSharedDrainLeavesNoFiles is the lifecycle regression: runs
+// consumed by PopMinKeyValues must have their spill files deleted as
+// they finish, so a fully drained Shared leaves an empty filesystem
+// even before Close.
+func TestSharedDrainLeavesNoFiles(t *testing.T) {
+	fs := iokit.NewMemFS()
+	s := spillingShared(fs)
+	fillShared(t, s, 400)
+	for !s.Empty() {
+		if _, _, err := s.PopMinKeyValues(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if names := listFiles(t, fs); len(names) != 0 {
+		t.Errorf("drained Shared left %d files: %v", len(names), names)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close after drain: %v", err)
+	}
+}
+
+// TestSharedCloseRemovesFiles: an abandoned Shared (e.g. a failed task)
+// must delete its live run files on Close, not just close the readers.
+func TestSharedCloseRemovesFiles(t *testing.T) {
+	fs := iokit.NewMemFS()
+	s := spillingShared(fs)
+	fillShared(t, s, 400)
+	if len(listFiles(t, fs)) == 0 {
+		t.Fatal("setup: expected live run files")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if names := listFiles(t, fs); len(names) != 0 {
+		t.Errorf("Close left %d files: %v", len(names), names)
+	}
+}
+
+// TestSharedMergeRemovesSourceRuns: after a successful run merge, only
+// the merged file may remain on disk — the consumed pre-merge spill
+// files must be gone.
+func TestSharedMergeRemovesSourceRuns(t *testing.T) {
+	fs := iokit.NewMemFS()
+	s := spillingShared(fs)
+	fillShared(t, s, 400)
+	names := listFiles(t, fs)
+	if len(names) != len(s.runs) {
+		t.Errorf("%d files on disk for %d live runs: %v", len(names), len(s.runs), names)
+	}
+	s.Close()
+}
+
+// TestSharedMergeErrorCleanup: a write failure mid-merge must surface
+// the error, remove the partially written merge file, and leave the
+// source runs intact on disk for the caller (Close) to release.
+func TestSharedMergeErrorCleanup(t *testing.T) {
+	mem := iokit.NewMemFS()
+	flaky := &iokit.FlakyFS{Inner: mem}
+	s := NewShared(SharedConfig{
+		KeyCompare:    bytesx.Bytes,
+		MemLimitBytes: 64,
+		MergeFactor:   100, // no merges during fill
+		FS:            flaky,
+		Prefix:        "mergefail",
+	})
+	fillShared(t, s, 200)
+	before := listFiles(t, mem)
+
+	flaky.FailWriteAt = 1 // every write from now on fails
+	err := s.mergeRuns()
+	if !errors.Is(err, iokit.ErrInjected) {
+		t.Fatalf("mergeRuns error = %v, want injected", err)
+	}
+	after := listFiles(t, mem)
+	if len(after) != len(before) {
+		t.Errorf("file set changed across failed merge: before %v, after %v", before, after)
+	}
+	for _, name := range after {
+		if strings.Contains(name, "shared-merge") {
+			t.Errorf("partial merge file %s left behind", name)
+		}
+	}
+	flaky.FailWriteAt = 0
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if names := listFiles(t, mem); len(names) != 0 {
+		t.Errorf("Close after failed merge left files: %v", names)
+	}
+}
+
+// errAfterReader serves its buffered bytes, then fails every further
+// read with ErrInjected, and records whether it was closed.
+type errAfterReader struct {
+	data   *bytes.Reader
+	closed bool
+}
+
+func (e *errAfterReader) Read(p []byte) (int, error) {
+	if e.data.Len() > 0 {
+		return e.data.Read(p)
+	}
+	return 0, iokit.ErrInjected
+}
+
+func (e *errAfterReader) Close() error {
+	e.closed = true
+	return nil
+}
+
+// TestSharedAdvanceClosesReaderOnError: a non-EOF read error is fatal
+// for the run, so advance must release the file handle instead of
+// leaking it.
+func TestSharedAdvanceClosesReaderOnError(t *testing.T) {
+	var buf bytes.Buffer
+	w := bytesx.NewWriter(&buf)
+	if err := w.WriteRecord([]byte("key"), []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	src := &errAfterReader{data: bytes.NewReader(buf.Bytes())}
+	run := &sharedRun{r: bytesx.NewReader(src), closer: src, name: "readfail"}
+	if err := run.advance(); err != nil {
+		t.Fatalf("first advance (valid record): %v", err)
+	}
+	if string(run.headKey) != "key" {
+		t.Fatalf("headKey = %q", run.headKey)
+	}
+	if err := run.advance(); !errors.Is(err, iokit.ErrInjected) {
+		t.Fatalf("advance error = %v, want injected", err)
+	}
+	if run.closer != nil || !src.closed {
+		t.Error("advance leaked the run's reader on a read error")
+	}
+}
+
+// TestJobLeavesNoSharedFiles is the end-to-end census: after any job
+// whose Shared structures spilled, no shared-spill or shared-merge
+// files may remain on the job's filesystem.
+func TestJobLeavesNoSharedFiles(t *testing.T) {
+	fs := iokit.NewMemFS()
+	job := Wrap(prefixJob(nil, 3), Options{
+		Strategy:            Adaptive,
+		SharedMemLimitBytes: 64,
+		SharedMergeFactor:   2,
+	})
+	job.FS = fs
+	res, err := mr.Run(job, queries(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Extra[CounterSharedSpills] == 0 {
+		t.Fatal("setup: job's Shared never spilled")
+	}
+	for _, name := range listFiles(t, fs) {
+		if strings.Contains(name, "shared-spill") || strings.Contains(name, "shared-merge") {
+			t.Errorf("orphaned Shared file after job: %s", name)
+		}
+	}
+}
+
+// TestJobTraceContainsAllSpanKinds runs a spilling job with a tracer
+// attached and checks the span taxonomy end to end, including that the
+// Chrome export is valid JSON.
+func TestJobTraceContainsAllSpanKinds(t *testing.T) {
+	tracer := obs.NewTracer()
+	job := Wrap(prefixJob(nil, 3), Options{
+		Strategy:            Adaptive,
+		SharedMemLimitBytes: 64,
+		SharedMergeFactor:   2,
+	})
+	job.Tracer = tracer
+	if _, err := mr.Run(job, queries(200)); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, sp := range tracer.Spans() {
+		counts[sp.Kind]++
+	}
+	for _, kind := range []string{obs.KindJob, obs.KindMap, obs.KindFetch,
+		obs.KindReduce, obs.KindSharedSpill, obs.KindSharedMerge} {
+		if counts[kind] == 0 {
+			t.Errorf("no %s spans in trace (got %v)", kind, counts)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v", err)
+	}
+	if len(events) < len(tracer.Spans()) {
+		t.Errorf("trace export has %d events for %d spans", len(events), len(tracer.Spans()))
+	}
+}

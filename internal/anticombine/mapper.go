@@ -29,6 +29,8 @@ const (
 	CounterMapReexec = "anti.mapReexec"
 	// CounterSharedSpills counts Shared spills to disk.
 	CounterSharedSpills = "anti.sharedSpills"
+	// CounterSharedMerges counts merges of Shared's on-disk spill runs.
+	CounterSharedMerges = "anti.sharedMerges"
 )
 
 // encodeChoice is a per-partition encoding decision.

@@ -56,6 +56,7 @@ func (r *antiReducer) Setup(info *mr.TaskInfo, out mr.Emitter) error {
 			info.JobName, info.TaskID, info.Partition, instanceSeq.Add(1)),
 		Combiner: sharedCombiner,
 		Counters: info.Counters,
+		Tracer:   info.Tracer,
 	})
 
 	// The original Map is needed on this side to decode LazySH records.

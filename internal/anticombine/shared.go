@@ -9,6 +9,7 @@ import (
 	"repro/internal/bytesx"
 	"repro/internal/iokit"
 	"repro/internal/mr"
+	"repro/internal/obs"
 )
 
 // combineBatch is how many values accumulate per key before the
@@ -44,6 +45,7 @@ type Shared struct {
 	spillSeq    int
 	runs        []*sharedRun
 	counters    *mr.Counters
+	tracer      *obs.Tracer
 
 	combiner mr.Reducer
 	spills   int64
@@ -78,8 +80,11 @@ type SharedConfig struct {
 	Prefix string
 	// Combiner, if set, combines values per key on insert (in batches).
 	Combiner mr.Reducer
-	// Counters, if set, receives the "anti.sharedSpills" counter.
+	// Counters, if set, receives the "anti.sharedSpills" and
+	// "anti.sharedMerges" counters.
 	Counters *mr.Counters
+	// Tracer, if set, receives shared-spill and shared-merge spans.
+	Tracer *obs.Tracer
 }
 
 // NewShared builds an empty Shared.
@@ -103,6 +108,7 @@ func NewShared(cfg SharedConfig) *Shared {
 		fs:          cfg.FS,
 		prefix:      cfg.Prefix,
 		counters:    cfg.Counters,
+		tracer:      cfg.Tracer,
 		combiner:    cfg.Combiner,
 	}
 }
@@ -240,20 +246,30 @@ func (s *Shared) PopMinKeyValues() (key []byte, values [][]byte, err error) {
 				}
 			}
 		}
-		s.dropFinishedRuns()
+		if err := s.dropFinishedRuns(); err != nil {
+			return nil, nil, err
+		}
 	}
 	return key, values, nil
 }
 
-func (s *Shared) dropFinishedRuns() {
+// dropFinishedRuns prunes fully consumed runs and deletes their spill
+// files — a long job cycles through many runs, and keeping consumed
+// files would leak disk linearly with spill count.
+func (s *Shared) dropFinishedRuns() error {
 	live := s.runs[:0]
+	var firstErr error
 	for _, r := range s.runs {
 		if r.done {
+			if err := s.fs.Remove(r.name); err != nil && firstErr == nil {
+				firstErr = err
+			}
 			continue
 		}
 		live = append(live, r)
 	}
 	s.runs = live
+	return firstErr
 }
 
 // Spills reports how many times Shared spilled to disk.
@@ -271,6 +287,7 @@ func (s *Shared) spill() error {
 	if s.counters != nil {
 		s.counters.AddExtra(CounterSharedSpills, 1)
 	}
+	span := s.tracer.Start(obs.KindSharedSpill, name)
 	f, err := s.fs.Create(name)
 	if err != nil {
 		return err
@@ -294,6 +311,7 @@ func (s *Shared) spill() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
+	span.End(obs.Int("records", w.Records()), obs.Int("bytes", w.Bytes()))
 	run, err := openSharedRun(s.fs, name)
 	if err != nil {
 		return err
@@ -308,13 +326,26 @@ func (s *Shared) spill() error {
 }
 
 // mergeRuns merges all current runs into a single sorted run, mirroring
-// the map phase's spill merge (§5).
+// the map phase's spill merge (§5). The consumed pre-merge run files
+// are deleted only after the merged run is durably written and
+// reopened; on a mid-merge error the partially written merge file is
+// closed and removed while the source runs stay intact on disk (their
+// readers, if still open, are released by Close).
 func (s *Shared) mergeRuns() error {
 	name := fmt.Sprintf("%s/shared-merge%04d", s.prefix, s.spillSeq)
 	s.spillSeq++
+	if s.counters != nil {
+		s.counters.AddExtra(CounterSharedMerges, 1)
+	}
+	span := s.tracer.Start(obs.KindSharedMerge, name, obs.Int("runs", int64(len(s.runs))))
 	f, err := s.fs.Create(name)
 	if err != nil {
 		return err
+	}
+	// abort closes and best-effort deletes the partial merge output.
+	abort := func() {
+		f.Close()
+		s.fs.Remove(name)
 	}
 	w := bytesx.NewWriter(f)
 	h := runHeap{cmp: s.cmp, runs: append([]*sharedRun(nil), s.runs...)}
@@ -322,11 +353,11 @@ func (s *Shared) mergeRuns() error {
 	for h.Len() > 0 {
 		r := h.runs[0]
 		if err := w.WriteRecord(r.headKey, r.headVal); err != nil {
-			f.Close()
+			abort()
 			return err
 		}
 		if err := r.advance(); err != nil {
-			f.Close()
+			abort()
 			return err
 		}
 		if r.done {
@@ -336,13 +367,27 @@ func (s *Shared) mergeRuns() error {
 		}
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		abort()
 		return err
 	}
 	if err := f.Close(); err != nil {
+		s.fs.Remove(name)
 		return err
 	}
+	span.End(obs.Int("records", w.Records()), obs.Int("bytes", w.Bytes()))
+	// The merge succeeded: the source runs are fully consumed (their
+	// readers closed at EOF), so delete their files before swapping in
+	// the merged run.
+	var removeErr error
+	for _, r := range s.runs {
+		if err := s.fs.Remove(r.name); err != nil && removeErr == nil {
+			removeErr = err
+		}
+	}
 	s.runs = nil
+	if removeErr != nil {
+		return removeErr
+	}
 	run, err := openSharedRun(s.fs, name)
 	if err != nil {
 		return err
@@ -353,40 +398,52 @@ func (s *Shared) mergeRuns() error {
 	return nil
 }
 
-// Close releases any open spill run readers.
+// Close releases any open spill run readers and deletes their backing
+// files — long jobs create and close many Shared instances, so leaving
+// run files behind would leak disk linearly.
 func (s *Shared) Close() error {
+	var firstErr error
 	for _, r := range s.runs {
-		r.close()
+		if err := r.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := s.fs.Remove(r.name); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	s.runs = nil
-	return nil
+	return firstErr
 }
 
 // sharedRun is a buffered sequential cursor over one sorted spill file.
 type sharedRun struct {
 	r                *bytesx.Reader
 	closer           io.Closer
+	name             string
 	headKey, headVal []byte
 	done             bool
 }
 
 // openSharedRun opens a run and primes its head record. A run with no
-// records returns nil.
+// records is closed, deleted, and returned as nil.
 func openSharedRun(fs iokit.FS, name string) (*sharedRun, error) {
 	f, err := fs.Open(name)
 	if err != nil {
 		return nil, err
 	}
-	run := &sharedRun{r: bytesx.NewReader(f), closer: f}
+	run := &sharedRun{r: bytesx.NewReader(f), closer: f, name: name}
 	if err := run.advance(); err != nil {
 		return nil, err
 	}
 	if run.done {
-		return nil, nil
+		return nil, fs.Remove(name)
 	}
 	return run, nil
 }
 
+// advance reads the next head record, closing the reader on every
+// terminal path: EOF and read errors alike (an error here is fatal for
+// the run, so holding the file open would leak the handle).
 func (r *sharedRun) advance() error {
 	k, v, err := r.r.ReadRecord()
 	if errors.Is(err, io.EOF) {
@@ -394,6 +451,7 @@ func (r *sharedRun) advance() error {
 		return r.close()
 	}
 	if err != nil {
+		r.close()
 		return err
 	}
 	r.headKey = append(r.headKey[:0], k...)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/anticombine"
 	"repro/internal/costmodel"
 	"repro/internal/mr"
+	"repro/internal/obs"
 )
 
 // Config scales and seeds an experiment run.
@@ -32,6 +33,12 @@ type Config struct {
 	// Cluster parameterizes the runtime cost model. Defaults to the
 	// paper's testbed.
 	Cluster costmodel.Cluster
+	// Tracer, when non-nil, receives every job's trace spans (see
+	// internal/obs); antibench wires it from -trace.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, gets every job's live counters registered;
+	// antibench wires it from -metrics.
+	Metrics *obs.Registry
 }
 
 func (c Config) normalized() Config {
@@ -83,6 +90,14 @@ type RunMetrics struct {
 func runJob(cfg Config, name string, job *mr.Job, splits []mr.Split) (RunMetrics, *mr.Result, error) {
 	if cfg.Parallelism > 0 {
 		job.Parallelism = cfg.Parallelism
+	}
+	// Only override when configured, so an experiment can pre-wire its
+	// own tracer or registry on the job.
+	if cfg.Tracer != nil {
+		job.Tracer = cfg.Tracer
+	}
+	if cfg.Metrics != nil {
+		job.Metrics = cfg.Metrics
 	}
 	res, err := mr.Run(job, splits)
 	if err != nil {

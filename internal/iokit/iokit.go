@@ -82,6 +82,18 @@ func (m *Meter) String() string {
 		m.ReadBytes(), m.ReadOps(), m.WriteBytes(), m.WriteOps())
 }
 
+// Labeled returns the meter as the snake_case metric map the obs
+// metrics registry consumes, for registering a disk meter as its own
+// live source.
+func (m *Meter) Labeled() map[string]int64 {
+	return map[string]int64{
+		"disk_read_bytes":  m.ReadBytes(),
+		"disk_write_bytes": m.WriteBytes(),
+		"disk_read_ops":    m.ReadOps(),
+		"disk_write_ops":   m.WriteOps(),
+	}
+}
+
 // CountingWriter wraps a writer and feeds a meter.
 type CountingWriter struct {
 	W io.Writer

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bytesx"
 	"repro/internal/iokit"
+	"repro/internal/obs"
 )
 
 // segment describes one sorted run of records for one reduce partition,
@@ -137,7 +138,11 @@ func (b *mapBuffer) writeRun(name string, partition int, entries []bufEntry) (se
 	w := bytesx.NewWriter(cw)
 
 	if b.job.NewCombiner != nil {
+		span := b.job.Tracer.Start(obs.KindCombine, name, obs.Int("records_in", int64(len(entries))))
 		err = b.combineRun(partition, entries, w)
+		if err == nil {
+			span.End(obs.Int("records_out", w.Records()))
+		}
 	} else {
 		for _, e := range entries {
 			if err = w.WriteRecord(b.key(e), b.value(e)); err != nil {
@@ -175,6 +180,7 @@ func (b *mapBuffer) combineRun(partition int, entries []bufEntry, w *bytesx.Writ
 		GroupCompare:  b.job.GroupCompare,
 		Counters:      b.counters,
 		FS:            b.fs,
+		Tracer:        b.job.Tracer,
 	}
 	out := EmitterFunc(func(k, v []byte) error {
 		b.counters.combineOutRecords.Add(1)
@@ -313,7 +319,11 @@ func mergeOnce(job *Job, fs iokit.FS, counters *Counters, name string, partition
 	w := bytesx.NewWriter(cw)
 
 	if useCombiner {
+		span := job.Tracer.Start(obs.KindCombine, name)
 		err = combineMerged(job, fs, counters, partition, merged, w, taskID)
+		if err == nil {
+			span.End(obs.Int("records_out", w.Records()))
+		}
 	} else {
 		for {
 			k, v, nerr := merged.next()
@@ -364,6 +374,7 @@ func combineMerged(job *Job, fs iokit.FS, counters *Counters, partition int, mer
 		GroupCompare:  job.GroupCompare,
 		Counters:      counters,
 		FS:            fs,
+		Tracer:        job.Tracer,
 	}
 	out := EmitterFunc(func(k, v []byte) error {
 		counters.combineOutRecords.Add(1)

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/iokit"
 )
 
 // Counters aggregates job metrics across concurrently running tasks.
@@ -25,6 +27,39 @@ type Counters struct {
 
 	mu    sync.Mutex
 	extra map[string]int64
+	// meter and start are wired once by the engine before tasks launch
+	// so every Snapshot — including one taken mid-job by a live
+	// observer — carries consistent disk and wall-time readings instead
+	// of zeros patched on after the run. end freezes the wall clock when
+	// the job finishes, so post-run snapshots (a reporter's final line)
+	// agree exactly with the returned Result.Stats.
+	meter *iokit.Meter
+	start time.Time
+	end   time.Time
+}
+
+// SetDiskMeter wires the job's disk meter so snapshots include
+// DiskReadBytes / DiskWriteBytes. Call before tasks start.
+func (c *Counters) SetDiskMeter(m *iokit.Meter) {
+	c.mu.Lock()
+	c.meter = m
+	c.mu.Unlock()
+}
+
+// MarkStart records the job's start time so snapshots include the
+// elapsed WallTime. Call before tasks start.
+func (c *Counters) MarkStart(t time.Time) {
+	c.mu.Lock()
+	c.start = t
+	c.mu.Unlock()
+}
+
+// MarkEnd freezes the wall clock: snapshots taken after it report
+// end-start instead of a still-ticking elapsed time.
+func (c *Counters) MarkEnd(t time.Time) {
+	c.mu.Lock()
+	c.end = t
+	c.mu.Unlock()
 }
 
 // AddExtra adds n to a named auxiliary counter (e.g. Anti-Combining's
@@ -86,6 +121,32 @@ type Stats struct {
 // TotalCPU is the summed task CPU across both phases.
 func (s Stats) TotalCPU() time.Duration { return s.MapCPU + s.ReduceCPU }
 
+// Labeled flattens the stats into the snake_case metric map consumed by
+// the obs metrics registry. Durations are reported in milliseconds;
+// extra counters keep their registered names.
+func (s Stats) Labeled() map[string]int64 {
+	m := map[string]int64{
+		"map_input_records":      s.MapInputRecords,
+		"map_output_records":     s.MapOutputRecords,
+		"map_output_bytes":       s.MapOutputBytes,
+		"shuffle_bytes":          s.ShuffleBytes,
+		"spills":                 s.Spills,
+		"combine_input_records":  s.CombineInputRecords,
+		"combine_output_records": s.CombineOutputRecords,
+		"reduce_input_records":   s.ReduceInputRecords,
+		"reduce_output_records":  s.ReduceOutputRecords,
+		"disk_read_bytes":        s.DiskReadBytes,
+		"disk_write_bytes":       s.DiskWriteBytes,
+		"map_cpu_ms":             s.MapCPU.Milliseconds(),
+		"reduce_cpu_ms":          s.ReduceCPU.Milliseconds(),
+		"wall_ms":                s.WallTime.Milliseconds(),
+	}
+	for k, v := range s.Extra {
+		m[k] = v
+	}
+	return m
+}
+
 // String renders the headline stats for logs.
 func (s Stats) String() string {
 	var b strings.Builder
@@ -106,15 +167,33 @@ func (s Stats) String() string {
 	return b.String()
 }
 
-// Snapshot copies current counter values into a Stats.
+// Snapshot copies current counter values into a Stats. When the engine
+// has wired a disk meter and start time, the snapshot is self-
+// consistent mid-job: disk bytes and wall time reflect the same moment
+// as the record counters rather than being zero until the run ends.
 func (c *Counters) Snapshot() Stats {
 	c.mu.Lock()
 	extra := make(map[string]int64, len(c.extra))
 	for k, v := range c.extra {
 		extra[k] = v
 	}
+	meter, start, end := c.meter, c.start, c.end
 	c.mu.Unlock()
+	var diskR, diskW int64
+	if meter != nil {
+		diskR, diskW = meter.ReadBytes(), meter.WriteBytes()
+	}
+	var wall time.Duration
+	switch {
+	case !start.IsZero() && !end.IsZero():
+		wall = end.Sub(start)
+	case !start.IsZero():
+		wall = time.Since(start)
+	}
 	return Stats{
+		DiskReadBytes:        diskR,
+		DiskWriteBytes:       diskW,
+		WallTime:             wall,
 		MapInputRecords:      c.mapInputRecords.Load(),
 		MapOutputRecords:     c.mapOutputRecords.Load(),
 		MapOutputBytes:       c.mapOutputBytes.Load(),

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/iokit"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -84,6 +85,22 @@ func Run(job *Job, splits []Split) (*Result, error) {
 	meter := &iokit.Meter{}
 	fs := iokit.Metered(j.FS, meter)
 	counters := &Counters{}
+	// Wire the disk meter and start time in before any task runs, so a
+	// live observer's mid-job Snapshot carries consistent disk and
+	// wall-time readings alongside the record counters.
+	counters.SetDiskMeter(meter)
+	counters.MarkStart(start)
+	if j.Metrics != nil {
+		// The source is intentionally left registered after the run:
+		// its final values keep answering snapshots, so a live
+		// reporter's last line agrees with the returned Result.Stats.
+		j.Metrics.Register(j.Name, func() map[string]int64 {
+			return counters.Snapshot().Labeled()
+		})
+	}
+	jobSpan := j.Tracer.Start(obs.KindJob, j.Name,
+		obs.Str("scheduler", j.Scheduler), obs.Int("splits", int64(len(splits))),
+		obs.Int("reducers", int64(j.NumReduceTasks)))
 
 	var transport Transport = LocalTransport{}
 	if j.TCPShuffle {
@@ -104,14 +121,19 @@ func Run(job *Job, splits []Split) (*Result, error) {
 		res, err = runPipelined(context.Background(), env)
 	}
 	if err != nil {
+		jobSpan.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
 		return nil, err
 	}
 
-	stats := counters.Snapshot()
-	stats.DiskReadBytes = meter.ReadBytes()
-	stats.DiskWriteBytes = meter.WriteBytes()
-	stats.WallTime = time.Since(start)
-	res.Stats = stats
+	// Snapshot reads the wired meter and start time itself, so the
+	// final Stats are just the last of the same self-consistent
+	// snapshots any mid-job observer saw; MarkEnd freezes the wall
+	// clock so later snapshots (a reporter's final line) agree exactly.
+	counters.MarkEnd(time.Now())
+	res.Stats = counters.Snapshot()
+	jobSpan.End(obs.Str("outcome", "success"),
+		obs.Int("shuffle_bytes", res.Stats.ShuffleBytes),
+		obs.Int("map_output_records", res.Stats.MapOutputRecords))
 	return res, nil
 }
 
@@ -122,7 +144,7 @@ func runBarrier(ctx context.Context, env *runEnv) (*Result, error) {
 	j := env.job
 	nMap := len(env.splits)
 
-	tl := &timelineLog{}
+	tl := &timelineLog{tracer: j.Tracer}
 
 	// Map phase.
 	mapSegs := make([][]segment, nMap)
@@ -181,8 +203,10 @@ func runBarrier(ctx context.Context, env *runEnv) (*Result, error) {
 }
 
 // timelineLog records per-task attempts for the barrier scheduler so
-// both engines expose the same Result.Timeline shape.
+// both engines expose the same Result.Timeline shape, mirroring each
+// attempt into the trace sink when one is configured.
 type timelineLog struct {
+	tracer   *obs.Tracer
 	mu       sync.Mutex
 	attempts []sched.Attempt
 }
@@ -201,6 +225,10 @@ func (t *timelineLog) begin(name, group string) func(err error) time.Duration {
 		if err != nil {
 			a.Outcome = sched.OutcomeFailed
 			a.Err = err.Error()
+		}
+		if t.tracer != nil {
+			t.tracer.Record(group, name, start, end, obs.Int("attempt", 0),
+				obs.Str("outcome", string(a.Outcome)))
 		}
 		t.mu.Lock()
 		t.attempts = append(t.attempts, a)

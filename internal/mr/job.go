@@ -9,6 +9,7 @@ import (
 	"repro/internal/bytesx"
 	"repro/internal/codec"
 	"repro/internal/iokit"
+	"repro/internal/obs"
 )
 
 // Job configures one MapReduce execution. NewMapper / NewReducer /
@@ -79,6 +80,16 @@ type Job struct {
 	// Output is unaffected; duplicate attempts do inflate work counters
 	// (map input/output records, spills), as they do on Hadoop.
 	Speculative bool
+	// Tracer, when non-nil, receives typed trace spans from every layer
+	// of the run — job, map/fetch/reduce attempts, combiner passes, and
+	// anticombine's Shared spills — exportable as Chrome trace-event
+	// JSON. Nil disables tracing at effectively zero cost.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, gets the job's live counters registered
+	// under the job name for the duration of the run (and beyond: the
+	// source stays registered so a reporter's final line matches the
+	// job's final Stats).
+	Metrics *obs.Registry
 	// Deterministic declares that Map and Partitioner are deterministic
 	// functions of their inputs. When false, Anti-Combining disables
 	// LazySH (paper §6.2). The engine itself does not use it.

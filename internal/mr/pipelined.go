@@ -130,6 +130,7 @@ func runPipelined(ctx context.Context, env *runEnv) (*Result, error) {
 		MaxAttempts: j.MaxTaskAttempts,
 		Backoff:     j.RetryBackoff,
 		Speculate:   j.Speculative,
+		Tracer:      j.Tracer,
 	}
 	if j.MaxTaskAttempts > 1 {
 		cfg.Retryable = isTransientErr

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bytesx"
 	"repro/internal/iokit"
+	"repro/internal/obs"
 )
 
 // ctxCheckInterval is how many records (or key groups) a task processes
@@ -76,6 +77,7 @@ func runMapTask(ctx context.Context, job *Job, fs iokit.FS, counters *Counters, 
 		GroupCompare:  job.GroupCompare,
 		Counters:      counters,
 		FS:            fs,
+		Tracer:        job.Tracer,
 	}
 	out := EmitterFunc(func(k, v []byte) error {
 		counters.mapOutputRecords.Add(1)
@@ -205,6 +207,7 @@ func reduceMerge(ctx context.Context, job *Job, fs iokit.FS, counters *Counters,
 		GroupCompare:  job.GroupCompare,
 		Counters:      counters,
 		FS:            fs,
+		Tracer:        job.Tracer,
 	}
 	var output []Record
 	out := EmitterFunc(func(k, v []byte) error {
@@ -254,6 +257,10 @@ func fetchSegments(ctx context.Context, fs iokit.FS, transport Transport, job *J
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("mr: reduce task %d fetch: %w", partition, err)
 		}
+		// The transport-level sub-span: one socket copy per segment,
+		// nested (time-wise) inside the scheduler's fetch-task span.
+		span := job.Tracer.Start(obs.KindFetch, "copy "+s.file,
+			obs.Int("partition", int64(partition)))
 		rc, size, err := transport.Fetch(fs, s.file)
 		if err != nil {
 			return nil, fmt.Errorf("mr: reduce task %d fetching %s: %w", partition, s.file, err)
@@ -276,6 +283,7 @@ func fetchSegments(ctx context.Context, fs iokit.FS, transport Transport, job *J
 			return nil, fmt.Errorf("mr: reduce task %d fetched %d bytes of %s, want %d: %w",
 				partition, n, s.file, size, errShortFetch)
 		}
+		span.End(obs.Int("bytes", n))
 		local[i] = segment{partition: partition, file: name, records: s.records, rawBytes: s.rawBytes}
 	}
 	return local, nil

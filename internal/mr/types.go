@@ -15,6 +15,7 @@ package mr
 import (
 	"repro/internal/bytesx"
 	"repro/internal/iokit"
+	"repro/internal/obs"
 )
 
 // Emitter receives intermediate or final records. Implementations copy
@@ -50,6 +51,10 @@ type TaskInfo struct {
 	// FS is the task's metered local filesystem, available to wrappers
 	// that need scratch files (e.g. Anti-Combining's Shared spills).
 	FS iokit.FS
+	// Tracer is the job's trace sink (nil when tracing is disabled), so
+	// wrappers can emit their own spans — Anti-Combining's Shared uses
+	// it for shared-spill / shared-merge spans.
+	Tracer *obs.Tracer
 }
 
 // Mapper is the Map side of a job. Setup runs once before the first Map

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" =
+// complete event, "M" = metadata). Timestamps and durations are in
+// microseconds relative to the trace origin, per the format spec.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the tracer's spans as Chrome trace-event
+// JSON (the array form), loadable in chrome://tracing and Perfetto.
+// Spans are grouped by kind; within a kind, overlapping spans are
+// packed onto separate lanes by a greedy interval assignment so
+// concurrency is visible as vertically stacked rows. Each lane is a
+// trace "thread" named after its kind, and kinds are ordered by the
+// taxonomy (job, map, fetch, reduce, ...) so the pipeline reads top to
+// bottom.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return writeChromeTrace(w, t.Spans())
+}
+
+// kindRank orders the engine taxonomy in pipeline order; unknown kinds
+// sort after, alphabetically.
+func kindRank(kind string) int {
+	switch kind {
+	case KindJob:
+		return 0
+	case KindMap:
+		return 1
+	case KindCombine:
+		return 2
+	case KindFetch:
+		return 3
+	case KindReduce:
+		return 4
+	case KindSharedSpill:
+		return 5
+	case KindSharedMerge:
+		return 6
+	}
+	return 7
+}
+
+func writeChromeTrace(w io.Writer, spans []Span) error {
+	kinds := make(map[string][]Span)
+	var order []string
+	for _, s := range spans {
+		if _, ok := kinds[s.Kind]; !ok {
+			order = append(order, s.Kind)
+		}
+		kinds[s.Kind] = append(kinds[s.Kind], s)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ri, rj := kindRank(order[i]), kindRank(order[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return order[i] < order[j]
+	})
+
+	var origin time.Time
+	for _, s := range spans {
+		if origin.IsZero() || s.Start.Before(origin) {
+			origin = s.Start
+		}
+	}
+
+	var events []chromeEvent
+	tid := 0
+	for _, kind := range order {
+		ks := kinds[kind]
+		sort.SliceStable(ks, func(i, j int) bool { return ks[i].Start.Before(ks[j].Start) })
+		// Greedy interval partitioning: each span takes the first lane
+		// whose previous span has ended.
+		var laneEnd []time.Time
+		base := tid
+		for _, s := range ks {
+			lane := -1
+			for l, end := range laneEnd {
+				if !s.Start.Before(end) {
+					lane = l
+					break
+				}
+			}
+			if lane == -1 {
+				lane = len(laneEnd)
+				laneEnd = append(laneEnd, time.Time{})
+			}
+			laneEnd[lane] = s.End
+			args := make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Value
+			}
+			events = append(events, chromeEvent{
+				Name:  s.Name,
+				Cat:   s.Kind,
+				Phase: "X",
+				TS:    float64(s.Start.Sub(origin)) / float64(time.Microsecond),
+				Dur:   float64(s.End.Sub(s.Start)) / float64(time.Microsecond),
+				PID:   1,
+				TID:   base + lane,
+				Args:  args,
+			})
+		}
+		for l := range laneEnd {
+			name := kind
+			if len(laneEnd) > 1 {
+				name = fmt.Sprintf("%s %d", kind, l)
+			}
+			events = append(events, chromeEvent{
+				Name:  "thread_name",
+				Phase: "M",
+				PID:   1,
+				TID:   base + l,
+				Args:  map[string]any{"name": name},
+			})
+		}
+		tid += len(laneEnd)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Source produces a point-in-time view of one component's counters.
+// Implementations must be safe to call concurrently with the component
+// running (e.g. mr.Counters.Snapshot behind a closure). Keys should be
+// stable snake_case metric names; values are monotonic counters or
+// gauges.
+type Source func() map[string]int64
+
+// Registry merges independently owned metric sources — the engine's
+// job counters (which themselves fold in the iokit disk meter and
+// anticombine's extra counters), and anything else a caller registers —
+// behind one labeled snapshot API. A nil *Registry is a valid disabled
+// registry: Register and Snapshot are no-ops.
+type Registry struct {
+	mu      sync.Mutex
+	seq     int
+	sources []registered
+}
+
+type registered struct {
+	id     int
+	prefix string
+	src    Source
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a source under a name prefix; its metrics appear in
+// snapshots as "<name>/<key>". Duplicate names are disambiguated with
+// "#2", "#3", ... so successive jobs with the same name stay distinct.
+// The returned func unregisters the source; sources left registered
+// keep exposing their final values after the component finishes, which
+// is what lets a live reporter's last line agree with a job's final
+// Stats. No-op (returning a no-op func) on a nil registry.
+func (r *Registry) Register(name string, src Source) (unregister func()) {
+	if r == nil {
+		return func() {}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	id := r.seq
+	prefix := name
+	taken := func(p string) bool {
+		for _, s := range r.sources {
+			if s.prefix == p {
+				return true
+			}
+		}
+		return false
+	}
+	for n := 2; taken(prefix); n++ {
+		prefix = fmt.Sprintf("%s#%d", name, n)
+	}
+	r.sources = append(r.sources, registered{id: id, prefix: prefix, src: src})
+	return func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for i, s := range r.sources {
+			if s.id == id {
+				r.sources = append(r.sources[:i], r.sources[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// MetricsSnapshot is one labeled point-in-time view of every source.
+type MetricsSnapshot struct {
+	// Time is when the snapshot was taken.
+	Time time.Time `json:"ts"`
+	// Values maps "<source>/<metric>" to its value.
+	Values map[string]int64 `json:"values"`
+}
+
+// Keys returns the snapshot's metric names, sorted.
+func (s MetricsSnapshot) Keys() []string {
+	keys := make([]string, 0, len(s.Values))
+	for k := range s.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot reads every registered source. On a nil registry it returns
+// an empty snapshot.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	snap := MetricsSnapshot{Time: time.Now(), Values: map[string]int64{}}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	sources := append([]registered(nil), r.sources...)
+	r.mu.Unlock()
+	for _, s := range sources {
+		for k, v := range s.src() {
+			snap.Values[s.prefix+"/"+k] = v
+		}
+	}
+	return snap
+}

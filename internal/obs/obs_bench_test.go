@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkDisabledSpan measures the nil-sink fast path every
+// instrumented call site pays when tracing is off: it must stay in the
+// sub-nanosecond range so the engine's default (untraced) runs carry
+// effectively zero overhead. Compare with BenchmarkEnabledSpan and the
+// engine-level pair in internal/mr/mr_bench_test.go.
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(KindMap, "map/0")
+		sp.End()
+	}
+}
+
+// BenchmarkDisabledRecord measures the retroactive form's disabled path
+// (what sched pays per attempt with no tracer configured).
+func BenchmarkDisabledRecord(b *testing.B) {
+	var tr *Tracer
+	t0 := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(KindMap, "map/0", t0, t0, Int("attempt", 0))
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := NewTracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(KindMap, "map/0")
+		sp.End()
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Reporter periodically snapshots a Registry and writes one JSON line
+// per tick — the live-progress stream (records/sec, bytes shuffled,
+// spills) a long job can be watched through. Stop writes a final line
+// so the stream always ends with the job's final counter values.
+type Reporter struct {
+	w        io.Writer
+	reg      *Registry
+	interval time.Duration
+
+	mu   sync.Mutex // serializes writes (tick goroutine vs Stop)
+	prev MetricsSnapshot
+	enc  *json.Encoder
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// reportLine is the JSONL schema: the raw labeled values plus per-key
+// rates (delta per second since the previous line) for every metric
+// that changed.
+type reportLine struct {
+	TS        time.Time          `json:"ts"`
+	ElapsedMS int64              `json:"elapsed_ms"`
+	Values    map[string]int64   `json:"values"`
+	Rates     map[string]float64 `json:"rates,omitempty"`
+}
+
+// NewReporter starts reporting snapshots of reg to w every interval
+// (default 1s when <= 0). Call Stop to flush the final line and halt.
+func NewReporter(w io.Writer, reg *Registry, interval time.Duration) *Reporter {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	r := &Reporter{
+		w: w, reg: reg, interval: interval,
+		enc:  json.NewEncoder(w),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	r.prev = MetricsSnapshot{Time: time.Now()}
+	go r.loop()
+	return r
+}
+
+func (r *Reporter) loop() {
+	defer close(r.done)
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.report()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// report writes one line; errors on the underlying writer are dropped
+// (progress reporting must never fail the job).
+func (r *Reporter) report() {
+	snap := r.reg.Snapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	line := reportLine{
+		TS:        snap.Time,
+		ElapsedMS: snap.Time.Sub(r.prev.Time).Milliseconds(),
+		Values:    snap.Values,
+	}
+	if dt := snap.Time.Sub(r.prev.Time).Seconds(); dt > 0 {
+		for k, v := range snap.Values {
+			if d := v - r.prev.Values[k]; d != 0 {
+				if line.Rates == nil {
+					line.Rates = map[string]float64{}
+				}
+				line.Rates[k] = float64(d) / dt
+			}
+		}
+	}
+	_ = r.enc.Encode(line)
+	r.prev = snap
+}
+
+// Stop halts the tick loop, writes one final snapshot line, and waits
+// for the reporter goroutine to exit. Safe to call once.
+func (r *Reporter) Stop() {
+	close(r.stop)
+	<-r.done
+	r.report()
+}

@@ -29,6 +29,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Task is one node of the DAG. Run is invoked once per attempt; it must
@@ -95,6 +97,11 @@ type Config struct {
 	SpeculationMin time.Duration
 	// SpeculationInterval is the straggler scan period (default 5ms).
 	SpeculationInterval time.Duration
+	// Tracer, when non-nil, receives one span per attempt (kind = the
+	// task's Group, name = the task name) with attempt index,
+	// speculative flag, and outcome attributes — the trace-sink
+	// generalization of the Attempts timeline.
+	Tracer *obs.Tracer
 }
 
 func (c Config) normalized() Config {
@@ -378,6 +385,19 @@ func (s *scheduler) run(ctx context.Context) (*Report, error) {
 						n.task.Name, n.failures, s.cfg.MaxAttempts, c.err))
 				}
 			}
+		}
+		if s.cfg.Tracer != nil {
+			attrs := []obs.Attr{
+				obs.Int("attempt", int64(c.attempt)),
+				obs.Str("outcome", string(a.Outcome)),
+			}
+			if c.speculative {
+				attrs = append(attrs, obs.Bool("speculative", true))
+			}
+			if a.Err != "" {
+				attrs = append(attrs, obs.Str("err", a.Err))
+			}
+			s.cfg.Tracer.Record(n.task.Group, n.task.Name, c.started, c.finished, attrs...)
 		}
 		s.attemptsLog = append(s.attemptsLog, a)
 	}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench test-short test-cluster
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,13 @@ verify: build vet race
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX ./...
+
+# Everything except the subprocess-spawning cluster integration tests
+# (they gate themselves on testing.Short).
+test-short:
+	$(GO) test -race -short ./...
+
+# Cluster integration: subprocess workers, worker-kill recovery,
+# byte-identical output vs the in-process engine.
+test-cluster:
+	$(GO) test -race -timeout 600s ./internal/cluster/

@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -57,6 +58,10 @@ var registry = []experiment{
 }
 
 func main() {
+	// When spawned as a cluster worker (-cluster mode re-executes this
+	// binary), become one and never return.
+	cluster.WorkerMainIfSpawned()
+
 	var (
 		exp      = flag.String("exp", "all", "experiment id (see -list; 'all' runs everything)")
 		scale    = flag.Float64("scale", 0.5, "dataset scale factor (1.0 = full default sizes)")
@@ -66,6 +71,10 @@ func main() {
 		par      = flag.Int("parallelism", 0, "concurrent tasks (0 = GOMAXPROCS); 1 gives the most stable CPU numbers")
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
 		list     = flag.Bool("list", false, "list experiments and exit")
+
+		clusterN    = flag.Int("cluster", 0, "run cluster mode with N worker subprocesses instead of -exp (compares against the in-process engine)")
+		clusterKill = flag.Bool("cluster-kill", false, "with -cluster: SIGKILL one worker mid-job to demonstrate failure recovery")
+		slots       = flag.Int("cluster-slots", 2, "with -cluster: task slots per worker process")
 
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file covering every job run")
 		metrics  = flag.String("metrics", "", "write live metrics snapshots (JSONL) to this file ('-' for stderr)")
@@ -112,6 +121,31 @@ func main() {
 		rep := obs.NewReporter(w, cfg.Metrics, *interval)
 		defer closeFn()
 		defer rep.Stop()
+	}
+
+	if *clusterN > 0 {
+		start := time.Now()
+		res, err := experiments.ClusterCompare(cfg, experiments.ClusterOptions{
+			Workers:        *clusterN,
+			SlotsPerWorker: *slots,
+			Kill:           *clusterKill,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "antibench: cluster mode: %v\n", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				fmt.Fprintf(os.Stderr, "antibench: encoding JSON: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		res.Render(os.Stdout)
+		fmt.Printf("  [completed in %v]\n", time.Since(start).Round(time.Millisecond))
+		return
 	}
 
 	selected := registry[:0:0]

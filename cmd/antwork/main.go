@@ -1,0 +1,51 @@
+// Command antwork runs one cluster worker process: it registers with a
+// coordinator, heartbeats, pulls task leases, executes them against the
+// registry-built job, and serves its map output to peer workers over
+// TCP. antibench spawns workers itself for local clusters; antwork
+// exists for running workers under another supervisor or on another
+// machine (point -data-addr at a routable interface so peers can fetch
+// from it).
+//
+// Usage:
+//
+//	antwork -coordinator 127.0.0.1:41234 -slots 4
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"repro/internal/cluster"
+	_ "repro/internal/experiments" // registers the experiment cluster jobs
+)
+
+func main() {
+	var (
+		coord = flag.String("coordinator", "", "coordinator RPC address (required)")
+		slots = flag.Int("slots", runtime.GOMAXPROCS(0), "concurrent task slots")
+		data  = flag.String("data-addr", "127.0.0.1:0", "segment server bind address; use a routable host:0 to serve remote peers")
+	)
+	flag.Parse()
+	if *coord == "" {
+		fmt.Fprintln(os.Stderr, "antwork: -coordinator is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := cluster.RunWorker(ctx, cluster.WorkerOptions{
+		Coordinator: *coord,
+		Slots:       *slots,
+		DataAddr:    *data,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "antwork:", err)
+		os.Exit(1)
+	}
+}

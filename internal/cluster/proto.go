@@ -1,0 +1,143 @@
+// Package cluster is the multi-process MapReduce runtime: a
+// coordinator process owns the task graph and leases map/fetch/reduce
+// tasks over TCP RPC to worker processes, which execute them against
+// the internal/mr task code and serve their map-output segments to
+// peers through mr.SegmentServer. The coordinator reuses internal/
+// sched's event loop — retries, backoff, speculative execution — by
+// implementing sched.Executor, and recovers from worker death by
+// re-executing map tasks whose segments became unfetchable
+// (sched.DepLostError), the way Hadoop re-runs completed maps when a
+// tasktracker is lost.
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/mr"
+)
+
+// JobRef names a registry-registered job plus its opaque build spec;
+// both coordinator and workers rebuild the identical job (and splits)
+// from it, so leases never ship closures or input data.
+type JobRef struct {
+	Name string
+	Spec []byte
+}
+
+// AttemptID identifies one attempt of one task.
+type AttemptID struct {
+	Task    string
+	Attempt int
+}
+
+// SegInfo describes one map-output segment: where it lives (a worker's
+// segment-server address), its file name in that worker's filesystem,
+// and its framed record count / pre-codec size.
+type SegInfo struct {
+	Addr      string
+	File      string
+	Partition int
+	Records   int64
+	RawBytes  int64
+}
+
+// RegisterArgs / RegisterReply: a worker joins the cluster. The reply
+// carries the job reference so the worker can build its executable
+// form, plus the heartbeat interval it must honor.
+type RegisterArgs struct {
+	DataAddr string // the worker's segment-server address
+	Slots    int    // concurrent task slots offered
+}
+
+type RegisterReply struct {
+	WorkerID        int
+	Job             JobRef
+	HeartbeatEvery  time.Duration
+	MaxTaskAttempts int
+}
+
+// HeartbeatArgs / HeartbeatReply: liveness plus the cancellation
+// back-channel — the coordinator piggybacks attempts to abort (lost
+// speculative races, failed jobs) on heartbeat replies.
+type HeartbeatArgs struct {
+	WorkerID int
+}
+
+type HeartbeatReply struct {
+	// Shutdown tells the worker to exit (job done, or the coordinator
+	// declared it dead and a revival would corrupt placement).
+	Shutdown bool
+	Cancel   []AttemptID
+}
+
+// LeaseArgs / LeaseReply: workers long-poll for task leases.
+type LeaseArgs struct {
+	WorkerID int
+}
+
+type LeaseReply struct {
+	Shutdown bool
+	Idle     bool // poll timed out; ask again
+	Granted  bool
+	Lease    TaskLease
+}
+
+// TaskLease is one task attempt assigned to a worker.
+type TaskLease struct {
+	Task    string
+	Group   string // mr.TaskGroupMap / Fetch / Reduce
+	Attempt int
+
+	// Map leases: the split index. Workers rebuild splits from the job
+	// registry, so only the index travels.
+	MapTask int
+
+	// Fetch leases: pull Sources (segments on peer workers) to local
+	// files. MapIndex is the producing map task, for stable local names.
+	Partition int
+	MapIndex  int
+	Sources   []SegInfo
+
+	// Reduce leases: merge Locals, which the coordinator placed on this
+	// worker via earlier fetch leases. LocalTasks names the fetch task
+	// that produced each Locals entry, so a missing file can be reported
+	// as that task's lost output.
+	Locals     []SegInfo
+	LocalTasks []string
+}
+
+// ReportArgs delivers an attempt's outcome back to the coordinator.
+type ReportArgs struct {
+	WorkerID int
+	Task     string
+	Attempt  int
+
+	// Failure: Errmsg is non-empty; Transient marks errors worth
+	// retrying; LostDeps names tasks whose committed output this worker
+	// found missing; Unreachable lists segment-server addresses that
+	// could not be fetched from (evidence toward declaring a peer dead).
+	Errmsg      string
+	Transient   bool
+	LostDeps    []string
+	Unreachable []string
+
+	// Success payloads by task group.
+	Segs      []SegInfo   // map: produced segments; fetch: localized segments
+	FlowBytes int64       // fetch: payload bytes moved over the wire
+	FetchNs   int64       // fetch: time spent in transfers
+	Fetches   int         // fetch: segment transfers performed
+	Records   []mr.Record // reduce: emitted output
+
+	// Stats is the attempt's counter snapshot (fresh counters per
+	// attempt, so deltas sum cleanly across committed attempts).
+	Stats mr.Stats
+	DurNs int64
+
+	// Cumulative per-worker gauges, reported on every report so the
+	// coordinator's last observation is current: connection-pool dials
+	// and serve-side disk bytes read by the segment server.
+	PoolDials   int64
+	ServedBytes int64
+}
+
+type ReportReply struct{}

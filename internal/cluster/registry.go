@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mr"
+)
+
+// The job registry maps JobRef names to builder functions. Coordinator
+// and worker processes must both register the same builders (usually
+// via a shared package's init), so a JobRef rebuilds the identical job
+// and splits everywhere — the cluster protocol ships specs, never
+// closures or input data. Builders must be deterministic in the spec:
+// workers rely on split i being the same records in every process.
+var (
+	regMu    sync.RWMutex
+	builders = make(map[string]func(spec []byte) (*mr.Job, []mr.Split, error))
+)
+
+// RegisterJob installs a job builder under name. Registering the same
+// name twice panics: it means two packages disagree about what the
+// name builds, which would corrupt cluster runs silently.
+func RegisterJob(name string, build func(spec []byte) (*mr.Job, []mr.Split, error)) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := builders[name]; dup {
+		panic(fmt.Sprintf("cluster: job %q registered twice", name))
+	}
+	builders[name] = build
+}
+
+// BuildJob materializes a JobRef through its registered builder.
+func BuildJob(ref JobRef) (*mr.Job, []mr.Split, error) {
+	regMu.RLock()
+	build := builders[ref.Name]
+	regMu.RUnlock()
+	if build == nil {
+		return nil, nil, fmt.Errorf("cluster: no job registered as %q", ref.Name)
+	}
+	return build(ref.Spec)
+}

@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/rpc"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/iokit"
+	"repro/internal/mr"
+)
+
+// WorkerOptions configures one worker process (or in-process worker
+// goroutine, which tests use to avoid subprocess overhead).
+type WorkerOptions struct {
+	// Coordinator is the coordinator's RPC address.
+	Coordinator string
+	// Slots is the number of concurrent task slots (default GOMAXPROCS).
+	Slots int
+	// FS is the worker's task filesystem (default an in-memory FS; a
+	// real deployment would hand each worker its own scratch OSFS).
+	FS iokit.FS
+	// DataAddr is the segment-server bind address (default loopback).
+	DataAddr string
+}
+
+// RunWorker joins the cluster at opts.Coordinator and serves task
+// leases until told to shut down (job finished), the context is
+// cancelled, or the coordinator becomes unreachable. Map output is
+// produced into the worker's own filesystem and served to peers via
+// mr.SegmentServer; fetch leases pull peer segments through a shared
+// mr.ConnPool.
+func RunWorker(ctx context.Context, opts WorkerOptions) error {
+	if opts.Slots <= 0 {
+		opts.Slots = runtime.GOMAXPROCS(0)
+	}
+	fs := opts.FS
+	if fs == nil {
+		fs = iokit.NewMemFS()
+	}
+	dataAddr := opts.DataAddr
+	if dataAddr == "" {
+		dataAddr = "127.0.0.1:0"
+	}
+
+	client, err := rpc.Dial("tcp", opts.Coordinator)
+	if err != nil {
+		return fmt.Errorf("cluster: dialing coordinator: %w", err)
+	}
+	defer client.Close()
+
+	serveMeter := &iokit.Meter{}
+	srv, err := mr.NewSegmentServer(fs, dataAddr, serveMeter)
+	if err != nil {
+		return fmt.Errorf("cluster: starting segment server: %w", err)
+	}
+	defer srv.Close()
+	pool := mr.NewConnPool()
+	defer pool.Close()
+
+	var reg RegisterReply
+	if err := client.Call("Cluster.Register", &RegisterArgs{DataAddr: srv.Addr(), Slots: opts.Slots}, &reg); err != nil {
+		return fmt.Errorf("cluster: registering: %w", err)
+	}
+	job, splits, err := BuildJob(reg.Job)
+	if err != nil {
+		return fmt.Errorf("cluster: building job: %w", err)
+	}
+	// The attempt budget shapes task behavior (reduce merges keep their
+	// inputs when retries are possible); mirror the coordinator's.
+	job.MaxTaskAttempts = reg.MaxTaskAttempts
+	hbEvery := reg.HeartbeatEvery
+	if hbEvery <= 0 {
+		hbEvery = 50 * time.Millisecond
+	}
+
+	w := &worker{
+		id: reg.WorkerID, job: job, splits: splits,
+		fs: fs, pool: pool, srv: srv, serveMeter: serveMeter,
+		running: make(map[AttemptID]context.CancelFunc),
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Heartbeat loop: liveness out, cancellations in.
+	go func() {
+		t := time.NewTicker(hbEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				return
+			}
+			var hb HeartbeatReply
+			if err := client.Call("Cluster.Heartbeat", &HeartbeatArgs{WorkerID: w.id}, &hb); err != nil {
+				cancel() // coordinator gone
+				return
+			}
+			if hb.Shutdown {
+				cancel()
+				return
+			}
+			for _, aid := range hb.Cancel {
+				w.cancelAttempt(aid)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for s := 0; s < opts.Slots; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				var lr LeaseReply
+				if err := client.Call("Cluster.Lease", &LeaseArgs{WorkerID: w.id}, &lr); err != nil {
+					cancel()
+					return
+				}
+				if lr.Shutdown {
+					cancel()
+					return
+				}
+				if !lr.Granted {
+					continue
+				}
+				rep := w.runLease(ctx, lr.Lease)
+				var rr ReportReply
+				if err := client.Call("Cluster.Report", rep, &rr); err != nil {
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+type worker struct {
+	id         int
+	job        *mr.Job
+	splits     []mr.Split
+	fs         iokit.FS
+	pool       *mr.ConnPool
+	srv        *mr.SegmentServer
+	serveMeter *iokit.Meter
+
+	mu      sync.Mutex
+	running map[AttemptID]context.CancelFunc
+}
+
+func (w *worker) cancelAttempt(aid AttemptID) {
+	w.mu.Lock()
+	cancel := w.running[aid]
+	w.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// runLease executes one task attempt and builds its report. All
+// failures are reported rather than returned: the coordinator owns
+// retry policy.
+func (w *worker) runLease(ctx context.Context, l TaskLease) *ReportArgs {
+	rep := &ReportArgs{WorkerID: w.id, Task: l.Task, Attempt: l.Attempt}
+	aid := AttemptID{Task: l.Task, Attempt: l.Attempt}
+	actx, acancel := context.WithCancel(ctx)
+	w.mu.Lock()
+	w.running[aid] = acancel
+	w.mu.Unlock()
+	defer func() {
+		acancel()
+		w.mu.Lock()
+		delete(w.running, aid)
+		w.mu.Unlock()
+	}()
+
+	// Fresh counters and disk meter per attempt: the report's Stats is a
+	// clean delta, and only committed attempts are summed job-side.
+	counters := &mr.Counters{}
+	meter := &iokit.Meter{}
+	afs := iokit.Metered(w.fs, meter)
+	counters.SetDiskMeter(meter)
+
+	t0 := time.Now()
+	var err error
+	switch l.Group {
+	case mr.TaskGroupMap:
+		var segs []mr.SegmentInfo
+		segs, err = mr.ExecMapTask(actx, w.job, afs, counters, l.MapTask, l.Attempt, w.splits[l.MapTask])
+		for _, s := range segs {
+			rep.Segs = append(rep.Segs, SegInfo{
+				Addr: w.srv.Addr(), File: s.File, Partition: s.Partition,
+				Records: s.Records, RawBytes: s.RawBytes,
+			})
+		}
+
+	case mr.TaskGroupFetch:
+		err = w.runFetch(actx, l, rep, counters)
+		counters.AddReduceCPU(time.Since(t0)) // fetch work is reduce-phase time
+
+	case mr.TaskGroupReduce:
+		var locals []mr.SegmentInfo
+		for i, s := range l.Locals {
+			if _, serr := w.fs.Size(s.File); serr != nil {
+				rep.LostDeps = appendUnique(rep.LostDeps, l.LocalTasks[i])
+				continue
+			}
+			locals = append(locals, mr.SegmentInfo{
+				Partition: s.Partition, File: s.File,
+				Records: s.Records, RawBytes: s.RawBytes,
+			})
+		}
+		if len(rep.LostDeps) > 0 {
+			rep.Errmsg = fmt.Sprintf("cluster: %d reduce input segments missing locally", len(rep.LostDeps))
+			return rep
+		}
+		rep.Records, err = mr.ExecReduceTask(actx, w.job, afs, counters, l.Partition, l.Attempt, locals)
+	}
+
+	rep.DurNs = time.Since(t0).Nanoseconds()
+	rep.Stats = counters.Snapshot()
+	rep.PoolDials = w.pool.Dials()
+	rep.ServedBytes = w.serveMeter.ReadBytes()
+	if err != nil {
+		rep.Errmsg = err.Error()
+		// Cancelled attempts are not worth retrying (the coordinator
+		// revoked them); anything else might succeed elsewhere or later.
+		rep.Transient = actx.Err() == nil
+	}
+	return rep
+}
+
+// runFetch pulls the lease's source segments from peer segment servers
+// into worker-local files — the cluster analogue of the pipelined
+// scheduler's fetch tasks, with real sockets underneath.
+func (w *worker) runFetch(ctx context.Context, l TaskLease, rep *ReportArgs, counters *mr.Counters) error {
+	var transferTime time.Duration
+	for i, src := range l.Sources {
+		fst := time.Now()
+		rc, size, err := w.pool.Fetch(ctx, src.Addr, src.File)
+		if err != nil {
+			rep.Unreachable = appendUnique(rep.Unreachable, src.Addr)
+			return fmt.Errorf("cluster: fetching %s from %s: %w", src.File, src.Addr, err)
+		}
+		name := fmt.Sprintf("shuffle/r%04d/m%04d.a%d.%02d", l.Partition, l.MapIndex, l.Attempt, i)
+		f, err := w.fs.Create(name)
+		if err != nil {
+			rc.Close()
+			return err
+		}
+		n, err := io.Copy(f, rc)
+		rc.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			rep.Unreachable = appendUnique(rep.Unreachable, src.Addr)
+			return fmt.Errorf("cluster: copying %s from %s: %w", src.File, src.Addr, err)
+		}
+		if n != size {
+			rep.Unreachable = appendUnique(rep.Unreachable, src.Addr)
+			return fmt.Errorf("cluster: fetched %d bytes of %s from %s, want %d", n, src.File, src.Addr, size)
+		}
+		transferTime += time.Since(fst)
+		counters.AddShuffle(n, src.Records)
+		rep.FlowBytes += n
+		rep.Segs = append(rep.Segs, SegInfo{
+			Addr: w.srv.Addr(), File: name, Partition: src.Partition,
+			Records: src.Records, RawBytes: src.RawBytes,
+		})
+	}
+	rep.FetchNs = transferTime.Nanoseconds()
+	rep.Fetches = len(l.Sources)
+	return nil
+}
+
+func appendUnique(list []string, s string) []string {
+	for _, have := range list {
+		if have == s {
+			return list
+		}
+	}
+	return append(list, s)
+}

@@ -62,6 +62,22 @@ func (c *Counters) MarkEnd(t time.Time) {
 	c.mu.Unlock()
 }
 
+// AddShuffle meters fetched shuffle data arriving at the reduce side:
+// wire bytes (post-codec) and framed record counts. The in-process
+// engine calls it through accountShuffle; cluster workers call it when
+// a fetch task lands a remote segment locally.
+func (c *Counters) AddShuffle(bytes, records int64) {
+	c.shuffleBytes.Add(bytes)
+	c.reduceInRecords.Add(records)
+}
+
+// AddReduceCPU charges d to the reduce-phase CPU total. Remote
+// executors use it for fetch work that happens outside ExecReduceTask,
+// matching the pipelined scheduler's accounting of fetch-task time.
+func (c *Counters) AddReduceCPU(d time.Duration) {
+	c.reduceTaskNs.Add(d.Nanoseconds())
+}
+
 // AddExtra adds n to a named auxiliary counter (e.g. Anti-Combining's
 // encoding-choice and Shared-spill counters).
 func (c *Counters) AddExtra(name string, n int64) {
@@ -120,6 +136,36 @@ type Stats struct {
 
 // TotalCPU is the summed task CPU across both phases.
 func (s Stats) TotalCPU() time.Duration { return s.MapCPU + s.ReduceCPU }
+
+// Accumulate folds another snapshot into s, summing every counter and
+// both CPU totals (WallTime is taken as the max, since concurrently
+// produced snapshots overlap in time). The cluster coordinator uses it
+// to assemble job-level Stats from the per-attempt snapshots of
+// committed task attempts.
+func (s *Stats) Accumulate(o Stats) {
+	s.MapInputRecords += o.MapInputRecords
+	s.MapOutputRecords += o.MapOutputRecords
+	s.MapOutputBytes += o.MapOutputBytes
+	s.ShuffleBytes += o.ShuffleBytes
+	s.Spills += o.Spills
+	s.CombineInputRecords += o.CombineInputRecords
+	s.CombineOutputRecords += o.CombineOutputRecords
+	s.ReduceInputRecords += o.ReduceInputRecords
+	s.ReduceOutputRecords += o.ReduceOutputRecords
+	s.DiskReadBytes += o.DiskReadBytes
+	s.DiskWriteBytes += o.DiskWriteBytes
+	s.MapCPU += o.MapCPU
+	s.ReduceCPU += o.ReduceCPU
+	if o.WallTime > s.WallTime {
+		s.WallTime = o.WallTime
+	}
+	if len(o.Extra) > 0 && s.Extra == nil {
+		s.Extra = make(map[string]int64, len(o.Extra))
+	}
+	for k, v := range o.Extra {
+		s.Extra[k] += v
+	}
+}
 
 // Labeled flattens the stats into the snake_case metric map consumed by
 // the obs metrics registry. Durations are reported in milliseconds;

@@ -53,6 +53,31 @@ type Result struct {
 	// model, experiments) can measure real phase overlap from it
 	// instead of assuming phase serialization.
 	Timeline []sched.Attempt
+	// MeasuredShuffle records the real network transfer when the job ran
+	// on the cluster runtime (internal/cluster), nil otherwise. It sits
+	// next to ShufflePerPartition — the flow sizes the synthetic netsim
+	// prediction consumes — so model-vs-measured comparisons need no
+	// side channel.
+	MeasuredShuffle *ShuffleMeasurement
+}
+
+// ShuffleMeasurement is the real-network counterpart of the netsim
+// estimate: bytes and time actually spent moving map output between
+// worker processes over TCP.
+type ShuffleMeasurement struct {
+	// Bytes is the payload moved over worker-to-worker sockets.
+	Bytes int64
+	// FetchTime is the summed per-fetch transfer time (network busy
+	// time, the analogue of netsim's per-flow completion work).
+	FetchTime time.Duration
+	// Extent is the wall-clock span of the fetch phase: first fetch
+	// start to last fetch end, the measured analogue of the netsim
+	// makespan.
+	Extent time.Duration
+	// Fetches counts segment transfers; Dials counts TCP dials (the
+	// connection pool's miss count).
+	Fetches int
+	Dials   int64
 }
 
 // runEnv bundles the per-run state shared by both schedulers.

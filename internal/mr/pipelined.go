@@ -9,9 +9,16 @@ import (
 	"repro/internal/sched"
 )
 
-func mapTaskName(i int) string      { return fmt.Sprintf("map/%d", i) }
-func fetchTaskName(p, i int) string { return fmt.Sprintf("fetch/%d/%d", p, i) }
-func reduceTaskName(p int) string   { return fmt.Sprintf("reduce/%d", p) }
+// MapTaskName / FetchTaskName / ReduceTaskName are the canonical task
+// names of the engine's task graph, shared with Result.Timeline, trace
+// spans, and the cluster runtime's coordinator DAG.
+func MapTaskName(i int) string      { return fmt.Sprintf("map/%d", i) }
+func FetchTaskName(p, i int) string { return fmt.Sprintf("fetch/%d/%d", p, i) }
+func ReduceTaskName(p int) string   { return fmt.Sprintf("reduce/%d", p) }
+
+func mapTaskName(i int) string      { return MapTaskName(i) }
+func fetchTaskName(p, i int) string { return FetchTaskName(p, i) }
+func reduceTaskName(p int) string   { return ReduceTaskName(p) }
 
 // mapOut is a map task's committed value.
 type mapOut struct {

@@ -261,7 +261,7 @@ func fetchSegments(ctx context.Context, fs iokit.FS, transport Transport, job *J
 		// nested (time-wise) inside the scheduler's fetch-task span.
 		span := job.Tracer.Start(obs.KindFetch, "copy "+s.file,
 			obs.Int("partition", int64(partition)))
-		rc, size, err := transport.Fetch(fs, s.file)
+		rc, size, err := transport.Fetch(ctx, fs, s.file)
 		if err != nil {
 			return nil, fmt.Errorf("mr: reduce task %d fetching %s: %w", partition, s.file, err)
 		}

@@ -1,12 +1,13 @@
 package mr
 
 import (
+	"context"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/iokit"
@@ -15,11 +16,12 @@ import (
 // Transport is how reduce tasks fetch map output segments. The default
 // LocalTransport reads them straight from the task filesystem (the
 // single-process analogue of a local fetch); TCPTransport serves them
-// over a real localhost socket, exercising a genuine network path like
-// Hadoop's shuffle ServletFetcher.
+// over a real socket, exercising a genuine network path like Hadoop's
+// shuffle ServletFetcher. Fetch honors ctx: cancelling it aborts an
+// in-flight transfer, not just the gap between transfers.
 type Transport interface {
 	// Fetch opens a segment for reading and reports its transfer size.
-	Fetch(fs iokit.FS, name string) (io.ReadCloser, int64, error)
+	Fetch(ctx context.Context, fs iokit.FS, name string) (io.ReadCloser, int64, error)
 	// Close releases transport resources after the job completes.
 	Close() error
 }
@@ -28,7 +30,10 @@ type Transport interface {
 type LocalTransport struct{}
 
 // Fetch implements Transport.
-func (LocalTransport) Fetch(fs iokit.FS, name string) (io.ReadCloser, int64, error) {
+func (LocalTransport) Fetch(ctx context.Context, fs iokit.FS, name string) (io.ReadCloser, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	size, err := fs.Size(name)
 	if err != nil {
 		return nil, 0, err
@@ -43,89 +48,167 @@ func (LocalTransport) Fetch(fs iokit.FS, name string) (io.ReadCloser, int64, err
 // Close implements Transport.
 func (LocalTransport) Close() error { return nil }
 
-// TCPTransport serves segment files over a loopback TCP listener and
-// fetches them through real sockets. Protocol per connection: the
-// client sends a uvarint-length-prefixed file name; the server replies
-// with a uvarint byte count followed by the file contents, or a zero
-// count and a length-prefixed error string.
-type TCPTransport struct {
-	fs iokit.FS
-	ln net.Listener
+// Wire protocol frame limits. Request frames carry file names; error
+// frames carry error strings. Anything larger is rejected before
+// allocation so a corrupt or hostile peer cannot force large buffers.
+const (
+	maxNameFrame = 4 << 10
+	maxErrFrame  = 64 << 10
+)
+
+// SegmentServer serves segment files from an FS over TCP, speaking a
+// persistent length-prefixed protocol: the client sends a
+// uvarint-length-prefixed file name; the server replies with a uvarint
+// byte count (size+1, so 0 signals an error) followed by the file
+// contents, or a zero count and a length-prefixed error string. The
+// connection then returns to a clean frame boundary and the client may
+// issue the next request on it, which is what makes connection pooling
+// possible. It is the addressable generalization of the loopback-only
+// shuffle server: cluster workers bind it on a routable address and
+// peer workers fetch from it directly.
+type SegmentServer struct {
+	fs    iokit.FS
+	meter *iokit.Meter // optional: meters serve-side disk reads
+	ln    net.Listener
+
+	served atomic.Int64
 
 	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
 }
 
-// NewTCPTransport starts a loopback listener serving fs.
-func NewTCPTransport(fs iokit.FS) (*TCPTransport, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+// NewSegmentServer starts a listener on addr (e.g. "127.0.0.1:0")
+// serving fs. meter, when non-nil, receives the serve-side disk reads —
+// useful when fs itself is unmetered (the cluster worker's base FS).
+func NewSegmentServer(fs iokit.FS, addr string, meter *iokit.Meter) (*SegmentServer, error) {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	t := &TCPTransport{fs: fs, ln: ln}
-	t.wg.Add(1)
-	go t.serve()
-	return t, nil
+	s := &SegmentServer{fs: fs, meter: meter, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
 }
 
-// Addr reports the listener address (tests and diagnostics).
-func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+// Addr reports the listener address, in a form peers can dial.
+func (s *SegmentServer) Addr() string { return s.ln.Addr().String() }
 
-func (t *TCPTransport) serve() {
-	defer t.wg.Done()
+// ServedBytes reports the total payload bytes written to clients.
+func (s *SegmentServer) ServedBytes() int64 { return s.served.Load() }
+
+func (s *SegmentServer) serve() {
+	defer s.wg.Done()
 	for {
-		conn, err := t.ln.Accept()
+		conn, err := s.ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
-		t.wg.Add(1)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
 		go func() {
-			defer t.wg.Done()
-			defer conn.Close()
-			t.handle(conn)
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.handleConn(conn)
 		}()
 	}
 }
 
-func (t *TCPTransport) handle(conn net.Conn) {
-	name, err := readLenPrefixed(conn)
-	if err != nil {
-		return
+// handleConn serves requests on one persistent connection until the
+// client closes it or a frame is malformed.
+func (s *SegmentServer) handleConn(conn net.Conn) {
+	for {
+		name, err := readLenPrefixed(conn, maxNameFrame)
+		if err != nil {
+			return // client done (EOF) or bad frame
+		}
+		if !s.handleOne(conn, string(name)) {
+			return
+		}
 	}
-	size, err := t.fs.Size(string(name))
+}
+
+// handleOne answers a single request; it reports whether the connection
+// is still at a clean frame boundary and may serve another.
+func (s *SegmentServer) handleOne(conn net.Conn, name string) bool {
+	size, err := s.fs.Size(name)
 	if err != nil {
-		writeError(conn, err)
-		return
+		return writeError(conn, err)
 	}
-	f, err := t.fs.Open(string(name))
+	f, err := s.fs.Open(name)
 	if err != nil {
-		writeError(conn, err)
-		return
+		return writeError(conn, err)
 	}
 	defer f.Close()
+	var r io.Reader = f
+	if s.meter != nil {
+		r = &iokit.CountingReader{R: f, M: s.meter}
+	}
 	hdr := binary.AppendUvarint(nil, uint64(size)+1) // size+1: 0 means error
 	if _, err := conn.Write(hdr); err != nil {
-		return
+		return false
 	}
-	io.CopyN(conn, f, size)
+	n, err := io.CopyN(conn, r, size)
+	s.served.Add(n)
+	return err == nil
 }
 
-func writeError(conn net.Conn, err error) {
+// Close stops the listener, severs live connections — remote clients
+// may hold pooled sockets open indefinitely, and a clean shutdown must
+// not wait on them — and waits for handler goroutines to drain.
+func (s *SegmentServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func writeError(conn net.Conn, err error) bool {
+	msg := err.Error()
+	if len(msg) > maxErrFrame {
+		msg = msg[:maxErrFrame]
+	}
 	buf := binary.AppendUvarint(nil, 0)
-	buf = binary.AppendUvarint(buf, uint64(len(err.Error())))
-	buf = append(buf, err.Error()...)
-	conn.Write(buf)
+	buf = binary.AppendUvarint(buf, uint64(len(msg)))
+	buf = append(buf, msg...)
+	_, werr := conn.Write(buf)
+	return werr == nil
 }
 
-func readLenPrefixed(r io.Reader) ([]byte, error) {
+// readLenPrefixed reads one uvarint-length-prefixed frame, rejecting
+// frames larger than max before allocating, so truncated or hostile
+// length prefixes cannot force oversized buffers.
+func readLenPrefixed(r io.Reader, max uint64) ([]byte, error) {
 	br := &byteReader{r: r}
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
 	}
-	if n > 1<<20 {
-		return nil, errors.New("mr: transport frame too large")
+	if n > max {
+		return nil, fmt.Errorf("mr: transport frame of %d bytes exceeds limit %d", n, max)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -156,15 +239,131 @@ const (
 	fetchRetryBackoff = 2 * time.Millisecond
 )
 
-// Fetch implements Transport: it dials the loopback server and streams
-// the segment over the socket, retrying connection-level failures.
-func (t *TCPTransport) Fetch(_ iokit.FS, name string) (io.ReadCloser, int64, error) {
+// ConnPool is a keyed client-connection pool for the segment protocol:
+// connections are pooled per server address with keep-alive, a fetch
+// whose body is fully consumed returns its connection for reuse, and
+// idle connections past IdleTimeout are discarded on next use. Pooling
+// matters on multi-reduce jobs: without it every (partition, map task)
+// segment fetch pays a fresh TCP dial to the same few servers.
+type ConnPool struct {
+	// IdleTimeout discards pooled connections idle longer than this.
+	// Defaults to 30s.
+	IdleTimeout time.Duration
+	// MaxIdlePerHost caps pooled connections per server address.
+	// Defaults to 8.
+	MaxIdlePerHost int
+
+	dials atomic.Int64
+
+	mu     sync.Mutex
+	idle   map[string][]pooledConn
+	closed bool
+}
+
+type pooledConn struct {
+	conn   net.Conn
+	parked time.Time
+}
+
+// NewConnPool returns an empty pool with default limits.
+func NewConnPool() *ConnPool {
+	return &ConnPool{idle: make(map[string][]pooledConn)}
+}
+
+// Dials reports how many TCP dials the pool has performed — the pool's
+// miss count. A multi-reduce job with pooling performs far fewer dials
+// than it performs fetches.
+func (p *ConnPool) Dials() int64 { return p.dials.Load() }
+
+func (p *ConnPool) idleTimeout() time.Duration {
+	if p.IdleTimeout > 0 {
+		return p.IdleTimeout
+	}
+	return 30 * time.Second
+}
+
+func (p *ConnPool) maxIdle() int {
+	if p.MaxIdlePerHost > 0 {
+		return p.MaxIdlePerHost
+	}
+	return 8
+}
+
+// get returns a pooled connection to addr, or dials a fresh one. fresh
+// forces a dial (used after a pooled connection turned out stale).
+func (p *ConnPool) get(ctx context.Context, addr string, fresh bool) (net.Conn, error) {
+	if !fresh {
+		cutoff := time.Now().Add(-p.idleTimeout())
+		p.mu.Lock()
+		conns := p.idle[addr]
+		for len(conns) > 0 {
+			pc := conns[len(conns)-1]
+			conns = conns[:len(conns)-1]
+			p.idle[addr] = conns
+			if pc.parked.Before(cutoff) {
+				pc.conn.Close()
+				continue
+			}
+			p.mu.Unlock()
+			return pc.conn, nil
+		}
+		p.mu.Unlock()
+	}
+	p.dials.Add(1)
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// put parks a connection for reuse; the caller asserts it sits at a
+// clean frame boundary.
+func (p *ConnPool) put(addr string, conn net.Conn) {
+	p.mu.Lock()
+	if p.closed || len(p.idle[addr]) >= p.maxIdle() {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	p.idle[addr] = append(p.idle[addr], pooledConn{conn: conn, parked: time.Now()})
+	p.mu.Unlock()
+}
+
+// Close discards all pooled connections. In-flight fetches keep their
+// connections and close them individually.
+func (p *ConnPool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for addr, conns := range p.idle {
+		for _, pc := range conns {
+			pc.conn.Close()
+		}
+		delete(p.idle, addr)
+	}
+	return nil
+}
+
+// Fetch requests one segment from the server at addr and streams its
+// body, retrying connection-level failures with backoff. Cancelling ctx
+// closes the in-flight connection, so a fetch that lost a speculative
+// race or belongs to a cancelled job aborts mid-transfer instead of
+// running to completion.
+func (p *ConnPool) Fetch(ctx context.Context, addr, name string) (io.ReadCloser, int64, error) {
 	var lastErr error
 	for attempt := 0; attempt < fetchAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(fetchRetryBackoff << (attempt - 1))
+			select {
+			case <-time.After(fetchRetryBackoff << (attempt - 1)):
+			case <-ctx.Done():
+				return nil, 0, ctx.Err()
+			}
 		}
-		rc, size, err, retryable := t.fetchOnce(name)
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		// Attempt 0 may reuse a pooled connection; if that fails at the
+		// connection level it was likely stale, so later attempts dial
+		// fresh.
+		rc, size, err, retryable := p.fetchOnce(ctx, addr, name, attempt > 0)
 		if err == nil {
 			return rc, size, nil
 		}
@@ -173,45 +372,65 @@ func (t *TCPTransport) Fetch(_ iokit.FS, name string) (io.ReadCloser, int64, err
 		}
 		lastErr = err
 	}
-	return nil, 0, fmt.Errorf("mr: shuffle fetch %s failed after %d attempts: %w",
-		name, fetchAttempts, lastErr)
+	return nil, 0, fmt.Errorf("mr: shuffle fetch %s from %s failed after %d attempts: %w",
+		name, addr, fetchAttempts, lastErr)
 }
 
 // fetchOnce performs a single fetch handshake. retryable reports
 // whether the failure happened at the connection level (before a valid
 // response header), where a retry may see a healthy connection.
-func (t *TCPTransport) fetchOnce(name string) (rc io.ReadCloser, size int64, err error, retryable bool) {
-	conn, err := net.Dial("tcp", t.ln.Addr().String())
+func (p *ConnPool) fetchOnce(ctx context.Context, addr, name string, fresh bool) (rc io.ReadCloser, size int64, err error, retryable bool) {
+	conn, err := p.get(ctx, addr, fresh)
 	if err != nil {
 		return nil, 0, err, true
+	}
+	// While this request is in flight, ctx cancellation closes the
+	// connection so blocked reads and writes abort promptly.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	fail := func(err error, retryable bool) (io.ReadCloser, int64, error, bool) {
+		stop()
+		conn.Close()
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, 0, cerr, false
+		}
+		return nil, 0, err, retryable
 	}
 	req := binary.AppendUvarint(nil, uint64(len(name)))
 	req = append(req, name...)
 	if _, err := conn.Write(req); err != nil {
-		conn.Close()
-		return nil, 0, err, true
+		return fail(err, true)
 	}
 	br := &byteReader{r: conn}
 	sizePlus, err := binary.ReadUvarint(br)
 	if err != nil {
-		conn.Close()
-		return nil, 0, err, true
+		return fail(err, true)
 	}
 	if sizePlus == 0 {
-		msg, err := readLenPrefixed(conn)
-		conn.Close()
+		msg, err := readLenPrefixed(conn, maxErrFrame)
 		if err != nil {
-			return nil, 0, fmt.Errorf("mr: shuffle fetch failed: %w", err), true
+			return fail(fmt.Errorf("mr: shuffle fetch failed: %w", err), true)
 		}
-		return nil, 0, fmt.Errorf("mr: shuffle fetch %s: %s", name, msg), false
+		// Server-reported errors are authoritative; the connection is at
+		// a frame boundary, so it can be reused.
+		stop()
+		p.put(addr, conn)
+		return nil, 0, fmt.Errorf("mr: shuffle fetch %s from %s: %s", name, addr, msg), false
 	}
 	size = int64(sizePlus - 1)
-	return &fetchReader{conn: conn, remaining: size}, size, nil, false
+	return &fetchReader{pool: p, addr: addr, conn: conn, ctx: ctx, stop: stop, remaining: size}, size, nil, false
 }
 
+// fetchReader streams one fetch body. Closing it after the body is
+// fully consumed returns the connection to the pool; closing early (or
+// after cancellation) discards it.
 type fetchReader struct {
+	pool      *ConnPool
+	addr      string
 	conn      net.Conn
+	ctx       context.Context
+	stop      func() bool
 	remaining int64
+	closed    bool
 }
 
 func (f *fetchReader) Read(p []byte) (int, error) {
@@ -223,25 +442,60 @@ func (f *fetchReader) Read(p []byte) (int, error) {
 	}
 	n, err := f.conn.Read(p)
 	f.remaining -= int64(n)
-	if err == nil && f.remaining == 0 {
-		return n, nil
+	if err != nil {
+		// Surface cancellation as the cause when it closed the conn.
+		if cerr := f.ctx.Err(); cerr != nil {
+			return n, cerr
+		}
+		return n, err
 	}
-	return n, err
+	return n, nil
 }
 
-func (f *fetchReader) Close() error { return f.conn.Close() }
-
-// Close implements Transport: stops the listener and waits for in-flight
-// connections.
-func (t *TCPTransport) Close() error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
+func (f *fetchReader) Close() error {
+	if f.closed {
 		return nil
 	}
-	t.closed = true
-	t.mu.Unlock()
-	err := t.ln.Close()
-	t.wg.Wait()
-	return err
+	f.closed = true
+	f.stop()
+	if f.remaining == 0 && f.ctx.Err() == nil {
+		f.pool.put(f.addr, f.conn)
+		return nil
+	}
+	return f.conn.Close()
+}
+
+// TCPTransport is the single-process shuffle-over-sockets transport: a
+// SegmentServer on loopback plus a pooled client fetching from it.
+type TCPTransport struct {
+	srv  *SegmentServer
+	pool *ConnPool
+}
+
+// NewTCPTransport starts a loopback listener serving fs.
+func NewTCPTransport(fs iokit.FS) (*TCPTransport, error) {
+	srv, err := NewSegmentServer(fs, "127.0.0.1:0", nil)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPTransport{srv: srv, pool: NewConnPool()}, nil
+}
+
+// Addr reports the listener address (tests and diagnostics).
+func (t *TCPTransport) Addr() string { return t.srv.Addr() }
+
+// Dials reports the TCP dials performed by the transport's pool.
+func (t *TCPTransport) Dials() int64 { return t.pool.Dials() }
+
+// Fetch implements Transport: it requests the segment from the loopback
+// server over a pooled socket.
+func (t *TCPTransport) Fetch(ctx context.Context, _ iokit.FS, name string) (io.ReadCloser, int64, error) {
+	return t.pool.Fetch(ctx, t.srv.Addr(), name)
+}
+
+// Close implements Transport: discards pooled connections, stops the
+// listener, and waits for in-flight connections.
+func (t *TCPTransport) Close() error {
+	t.pool.Close()
+	return t.srv.Close()
 }

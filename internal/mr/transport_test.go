@@ -1,11 +1,13 @@
 package mr
 
 import (
+	"context"
 	"io"
 	"net"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/iokit"
 )
@@ -26,7 +28,7 @@ func TestTCPTransportFetch(t *testing.T) {
 		t.Error("Addr should be set")
 	}
 
-	rc, size, err := tr.Fetch(fs, "seg1")
+	rc, size, err := tr.Fetch(context.Background(), fs, "seg1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +52,7 @@ func TestTCPTransportMissingFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tr.Close()
-	if _, _, err := tr.Fetch(fs, "nope"); err == nil {
+	if _, _, err := tr.Fetch(context.Background(), fs, "nope"); err == nil {
 		t.Error("missing file should produce a fetch error")
 	}
 }
@@ -71,7 +73,7 @@ func TestTCPTransportConcurrentFetches(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		name := string(rune('a' + i%4))
 		go func() {
-			rc, size, err := tr.Fetch(fs, name)
+			rc, size, err := tr.Fetch(context.Background(), fs, name)
 			if err != nil {
 				errs <- err
 				return
@@ -87,6 +89,120 @@ func TestTCPTransportConcurrentFetches(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		if err := <-errs; err != nil {
 			t.Errorf("concurrent fetch: %v", err)
+		}
+	}
+}
+
+// TestConnPoolReusesConnections: sequential fetches to one server reuse
+// a single pooled connection — the dial count stays at 1 even though
+// many fetches (and one server-reported error, which also returns the
+// connection at a clean frame boundary) pass through.
+func TestConnPoolReusesConnections(t *testing.T) {
+	fs := iokit.NewMemFS()
+	w, _ := fs.Create("seg")
+	w.Write([]byte(strings.Repeat("pooled ", 2000)))
+	w.Close()
+	tr, err := NewTCPTransport(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	for i := 0; i < 10; i++ {
+		rc, _, err := tr.Fetch(context.Background(), fs, "seg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, rc)
+		rc.Close()
+		if _, _, err := tr.Fetch(context.Background(), fs, "missing"); err == nil {
+			t.Fatal("expected error for missing segment")
+		}
+	}
+	if d := tr.Dials(); d != 1 {
+		t.Errorf("10 fetches + 10 error round-trips dialed %d times, want 1", d)
+	}
+}
+
+// TestConnPoolIdleTimeout: a connection idle past the timeout is
+// discarded, so the next fetch dials fresh.
+func TestConnPoolIdleTimeout(t *testing.T) {
+	fs := iokit.NewMemFS()
+	w, _ := fs.Create("seg")
+	w.Write([]byte("x"))
+	w.Close()
+	srv, err := NewSegmentServer(fs, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pool := NewConnPool()
+	pool.IdleTimeout = 10 * time.Millisecond
+	defer pool.Close()
+
+	fetch := func() {
+		rc, _, err := pool.Fetch(context.Background(), srv.Addr(), "seg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, rc)
+		rc.Close()
+	}
+	fetch()
+	fetch() // immediate reuse
+	if d := pool.Dials(); d != 1 {
+		t.Fatalf("back-to-back fetches dialed %d times, want 1", d)
+	}
+	time.Sleep(30 * time.Millisecond)
+	fetch() // idle connection expired
+	if d := pool.Dials(); d != 2 {
+		t.Errorf("post-idle fetch dialed %d times total, want 2", d)
+	}
+}
+
+// TestFetchCancelledMidTransfer: cancelling the fetch context aborts a
+// transfer in flight — the reader's next Read fails with the context's
+// error instead of delivering the rest of the body.
+func TestFetchCancelledMidTransfer(t *testing.T) {
+	fs := iokit.NewMemFS()
+	w, _ := fs.Create("big")
+	w.Write(make([]byte, 4<<20))
+	w.Close()
+	srv, err := NewSegmentServer(fs, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pool := NewConnPool()
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rc, size, err := pool.Fetch(ctx, srv.Addr(), "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if size != 4<<20 {
+		t.Fatalf("size = %d", size)
+	}
+	buf := make([]byte, 4096)
+	if _, err := io.ReadFull(rc, buf); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	cancel()
+	// The connection is closed asynchronously by AfterFunc; the read loop
+	// must observe the cancellation promptly rather than draining 4 MiB.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := rc.Read(buf)
+		if err != nil {
+			if err != context.Canceled {
+				t.Errorf("read error = %v, want context.Canceled", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reads kept succeeding after cancellation")
 		}
 	}
 }
@@ -109,7 +225,7 @@ func TestLocalTransport(t *testing.T) {
 	w, _ := fs.Create("f")
 	w.Write([]byte("data"))
 	w.Close()
-	rc, size, err := LocalTransport{}.Fetch(fs, "f")
+	rc, size, err := LocalTransport{}.Fetch(context.Background(), fs, "f")
 	if err != nil || size != 4 {
 		t.Fatalf("Fetch: size=%d err=%v", size, err)
 	}
@@ -156,8 +272,103 @@ func TestJobOverTCPShuffle(t *testing.T) {
 	}
 }
 
+// TestJobShuffleDialsPooled: a multi-reduce shuffle — R concurrent
+// reducers each fetching M map segments from one server — must keep the
+// dial count well below the fetch count: each reducer's sequential
+// fetches share one pooled connection instead of dialing per segment.
+func TestJobShuffleDialsPooled(t *testing.T) {
+	const nMap, nRed = 4, 8
+	fs := iokit.NewMemFS()
+	for m := 0; m < nMap; m++ {
+		for p := 0; p < nRed; p++ {
+			w, _ := fs.Create(segName(m, p))
+			w.Write([]byte(strings.Repeat("x", 8<<10)))
+			w.Close()
+		}
+	}
+	tr, err := NewTCPTransport(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	errs := make(chan error, nRed)
+	for p := 0; p < nRed; p++ {
+		p := p
+		go func() {
+			for m := 0; m < nMap; m++ {
+				rc, _, err := tr.Fetch(context.Background(), fs, segName(m, p))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, rc)
+				rc.Close()
+			}
+			errs <- nil
+		}()
+	}
+	for p := 0; p < nRed; p++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	fetches := int64(nMap * nRed)
+	if d := tr.Dials(); d >= fetches {
+		t.Errorf("%d fetches took %d dials; pooling should dial fewer times than fetches", fetches, d)
+	} else {
+		t.Logf("%d fetches over %d dials", fetches, tr.Dials())
+	}
+}
+
+func segName(m, p int) string {
+	return "job/m" + string(rune('0'+m)) + "/out.p" + string(rune('0'+p))
+}
+
+// BenchmarkShuffleFetchPooled measures pooled vs unpooled dial counts
+// on a repeated multi-segment fetch: the pooled path reports dials/op
+// as a metric, demonstrating the satellite's "fewer dials" claim.
+func BenchmarkShuffleFetchPooled(b *testing.B) {
+	fs := iokit.NewMemFS()
+	var names []string
+	for i := 0; i < 16; i++ {
+		name := "seg" + string(rune('a'+i))
+		w, _ := fs.Create(name)
+		w.Write(make([]byte, 32<<10))
+		w.Close()
+		names = append(names, name)
+	}
+	run := func(b *testing.B, pooled bool) {
+		srv, err := NewSegmentServer(fs, "127.0.0.1:0", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		pool := NewConnPool()
+		defer pool.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !pooled {
+				pool.Close()
+				pool = NewConnPool()
+			}
+			for _, n := range names {
+				rc, _, err := pool.Fetch(context.Background(), srv.Addr(), n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, rc)
+				rc.Close()
+			}
+		}
+		b.ReportMetric(float64(pool.Dials())/float64(b.N), "dials/op")
+	}
+	b.Run("pooled", func(b *testing.B) { run(b, true) })
+	b.Run("fresh-dials", func(b *testing.B) { run(b, false) })
+}
+
 // droppingListener wraps a real listener and proxies connections to a
-// backend transport, but slams the door on the first N accepted
+// backend server, but slams the door on the first N accepted
 // connections — modelling a shuffle server whose accept queue hiccups.
 type droppingListener struct {
 	front   net.Listener
@@ -182,7 +393,12 @@ func (d *droppingListener) run() {
 				return
 			}
 			defer back.Close()
-			go io.Copy(back, conn)
+			// Propagate EOF in both directions so neither endpoint is left
+			// blocked on a half-open relay.
+			go func() {
+				io.Copy(back, conn)
+				back.Close()
+			}()
 			io.Copy(conn, back)
 		}()
 	}
@@ -190,7 +406,7 @@ func (d *droppingListener) run() {
 
 // TestTCPFetchRetriesDroppedConnection: a connection dropped before the
 // response header is a retryable fetch failure; the bounded retry in
-// TCPTransport.Fetch recovers without surfacing an error.
+// ConnPool.Fetch recovers without surfacing an error.
 func TestTCPFetchRetriesDroppedConnection(t *testing.T) {
 	fs := iokit.NewMemFS()
 	payload := strings.Repeat("retryable segment ", 500)
@@ -198,7 +414,7 @@ func TestTCPFetchRetriesDroppedConnection(t *testing.T) {
 	w.Write([]byte(payload))
 	w.Close()
 
-	backend, err := NewTCPTransport(fs)
+	backend, err := NewSegmentServer(fs, "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,10 +428,9 @@ func TestTCPFetchRetriesDroppedConnection(t *testing.T) {
 	dl := &droppingListener{front: front, backend: backend.Addr(), drop: 1}
 	go dl.run()
 
-	// A client transport that dials the dropping front door. Fetch only
-	// consults ln.Addr, so wiring the listener in directly is enough.
-	client := &TCPTransport{fs: fs, ln: front}
-	rc, size, err := client.Fetch(fs, "seg")
+	pool := NewConnPool()
+	defer pool.Close()
+	rc, size, err := pool.Fetch(context.Background(), front.Addr().String(), "seg")
 	if err != nil {
 		t.Fatalf("fetch should survive one dropped connection: %v", err)
 	}
@@ -226,9 +441,13 @@ func TestTCPFetchRetriesDroppedConnection(t *testing.T) {
 	}
 
 	// Drop more connections than the retry budget: the error must name
-	// the exhausted attempts.
+	// the exhausted attempts. (Drain the pooled connection first so every
+	// attempt really dials the dropping front door.)
+	pool.Close()
+	pool = NewConnPool()
+	defer pool.Close()
 	atomic.StoreInt32(&dl.drop, fetchAttempts)
-	if _, _, err := client.Fetch(fs, "seg"); err == nil || !strings.Contains(err.Error(), "attempts") {
+	if _, _, err := pool.Fetch(context.Background(), front.Addr().String(), "seg"); err == nil || !strings.Contains(err.Error(), "attempts") {
 		t.Fatalf("fetch beyond retry budget: err = %v", err)
 	}
 }

@@ -39,6 +39,15 @@ const (
 	// a spill run and merging accumulated runs.
 	KindSharedSpill = "shared-spill"
 	KindSharedMerge = "shared-merge"
+	// Cluster-runtime spans: KindWorker covers one worker's lifetime in
+	// the coordinator's view (register to death/shutdown), KindHeartbeat
+	// a missed-heartbeat detection event, KindLease one task lease from
+	// grant to report, and KindReexec the scheduler re-executing an
+	// already-committed task because its output was lost with a worker.
+	KindWorker    = "worker"
+	KindHeartbeat = "heartbeat"
+	KindLease     = "lease"
+	KindReexec    = "re-execute"
 )
 
 // Attr is one key-value annotation on a span.

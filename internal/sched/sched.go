@@ -23,6 +23,7 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -51,8 +52,49 @@ type Task struct {
 	Speculatable bool
 	// Run executes one attempt. Attempts of one task may run
 	// concurrently (speculation), so Run must not share mutable state
-	// across attempts except through attempt-scoped names.
+	// across attempts except through attempt-scoped names. Run may be
+	// nil when Config.Executor is set; such tasks are dispatched to the
+	// executor instead.
 	Run func(ctx context.Context, tc *TaskContext) (any, error)
+}
+
+// Executor dispatches task attempts somewhere other than an in-process
+// closure — the cluster coordinator implements it to lease tasks to
+// remote worker processes. Execute is invoked under the same worker
+// semaphore, retry, and speculation machinery as Task.Run; it must
+// honor ctx cancellation (the lease should be revoked) and may return
+// a *DepLostError to signal that an already-committed dependency's
+// output has become unreachable and must be re-executed.
+type Executor interface {
+	Execute(ctx context.Context, task *Task, tc *TaskContext) (any, error)
+}
+
+// DepLostError reports that a task attempt could not run because the
+// committed output of one or more dependencies no longer exists — in a
+// cluster, a map task's segments died with their worker. The scheduler
+// reacts by un-committing the named dependencies, re-executing them,
+// and re-running the reporting task once they commit again, rather than
+// charging the failure to the reporting task's retry budget.
+type DepLostError struct {
+	// Deps names the dependencies whose outputs were lost.
+	Deps []string
+	// Err is the underlying fault, e.g. the fetch error.
+	Err error
+}
+
+func (e *DepLostError) Error() string {
+	return fmt.Sprintf("sched: lost output of dependencies %v: %v", e.Deps, e.Err)
+}
+
+func (e *DepLostError) Unwrap() error { return e.Err }
+
+// lostDeps extracts the lost dependency names from err, or nil.
+func lostDeps(err error) []string {
+	var dl *DepLostError
+	if errors.As(err, &dl) {
+		return dl.Deps
+	}
+	return nil
 }
 
 // TaskContext carries per-attempt information into Run.
@@ -102,6 +144,10 @@ type Config struct {
 	// speculative flag, and outcome attributes — the trace-sink
 	// generalization of the Attempts timeline.
 	Tracer *obs.Tracer
+	// Executor, when non-nil, runs attempts of tasks whose Run is nil.
+	// Tasks with a Run closure keep using it, so in-process and
+	// executor-dispatched tasks can share one DAG.
+	Executor Executor
 }
 
 func (c Config) normalized() Config {
@@ -157,6 +203,18 @@ type node struct {
 	retryPending bool
 	cancels      map[int]context.CancelFunc
 	winDur       time.Duration
+
+	// Dependency re-execution state. everCommitted guards the one-time
+	// structural unblocking of dependents; a re-commit after output loss
+	// must not decrement their waiting counts again. reexecs counts
+	// resets of this node (capped by MaxAttempts). waiters are nodes
+	// whose attempt failed with a DepLostError naming this node; they
+	// relaunch when it re-commits. redoWait is the count of lost deps a
+	// waiter is still waiting on.
+	everCommitted bool
+	reexecs       int
+	waiters       []*node
+	redoWait      int
 
 	// curStart is the unix-nano start time of the attempt currently
 	// running (0 when none); written by worker goroutines, read by the
@@ -230,8 +288,8 @@ func newScheduler(tasks []Task, cfg Config) (*scheduler, error) {
 		if t.Name == "" {
 			return nil, fmt.Errorf("sched: task with empty name")
 		}
-		if t.Run == nil {
-			return nil, fmt.Errorf("sched: task %s has no Run", t.Name)
+		if t.Run == nil && cfg.Executor == nil {
+			return nil, fmt.Errorf("sched: task %s has no Run and no Executor is configured", t.Name)
 		}
 		if _, dup := s.nodes[t.Name]; dup {
 			return nil, fmt.Errorf("sched: duplicate task %s", t.Name)
@@ -307,8 +365,10 @@ func (s *scheduler) run(ctx context.Context) (*Report, error) {
 			var err error
 			if cerr := actx.Err(); cerr != nil {
 				err = cerr // cancelled while queued for a worker slot
-			} else {
+			} else if n.task.Run != nil {
 				v, err = n.task.Run(actx, tc)
+			} else {
+				v, err = s.cfg.Executor.Execute(actx, &n.task, tc)
 			}
 			<-s.sem
 			s.events <- completion{
@@ -348,10 +408,22 @@ func (s *scheduler) run(ctx context.Context) (*Report, error) {
 				for _, cf := range n.cancels {
 					cf() // first finisher wins; cancel racing attempts
 				}
-				if jobErr == nil {
+				if jobErr == nil && !n.everCommitted {
+					n.everCommitted = true
 					for _, d := range n.dependents {
 						if d.waiting--; d.waiting == 0 {
 							launch(d, false)
+						}
+					}
+				}
+				// Re-commit after output loss: relaunch waiters whose
+				// lost dependencies are all available again.
+				if len(n.waiters) > 0 {
+					waiters := n.waiters
+					n.waiters = nil
+					for _, w := range waiters {
+						if w.redoWait--; jobErr == nil && w.redoWait == 0 && !w.done && w.running == 0 && !w.retryPending {
+							launch(w, false)
 						}
 					}
 				}
@@ -363,6 +435,44 @@ func (s *scheduler) run(ctx context.Context) (*Report, error) {
 				a.Outcome = OutcomeLostRace
 			case jobErr != nil:
 				a.Outcome = OutcomeCancelled
+			case lostDeps(c.err) != nil:
+				// The attempt could not run because committed dependency
+				// output vanished (a cluster worker died with its map
+				// segments). This is not the reporting task's fault: leave
+				// its retry budget alone, un-commit the lost dependencies,
+				// re-execute them, and relaunch this task when they have
+				// all committed again.
+				a.Outcome = OutcomeDepLost
+				for _, name := range lostDeps(c.err) {
+					dep, ok := s.nodes[name]
+					if !ok {
+						fail(fmt.Errorf("sched: task %s reported lost output of unknown task %s",
+							n.task.Name, name))
+						break
+					}
+					n.redoWait++
+					dep.waiters = append(dep.waiters, n)
+					if !dep.done {
+						continue // already being re-executed for another waiter
+					}
+					dep.done = false
+					doneCount--
+					dep.reexecs++
+					if dep.reexecs >= s.cfg.MaxAttempts {
+						fail(fmt.Errorf("sched: task %s lost its output %d times (max %d): %w",
+							dep.task.Name, dep.reexecs, s.cfg.MaxAttempts, c.err))
+						break
+					}
+					if s.cfg.Tracer != nil {
+						now := time.Now()
+						s.cfg.Tracer.Record(obs.KindReexec, dep.task.Name, now, now,
+							obs.Str("lost-by", n.task.Name),
+							obs.Int("re-execution", int64(dep.reexecs)))
+					}
+					if dep.running == 0 && !dep.retryPending {
+						launch(dep, false)
+					}
+				}
 			default:
 				n.failures++
 				switch {

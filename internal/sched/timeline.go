@@ -20,6 +20,11 @@ const (
 	// OutcomeLostRace marks an attempt that finished after another
 	// attempt of the same task had already committed.
 	OutcomeLostRace Outcome = "lost-race"
+	// OutcomeDepLost marks an attempt that could not run because a
+	// committed dependency's output had vanished (e.g. a cluster worker
+	// died with its map segments); the scheduler re-executes the
+	// dependency and relaunches the task without charging its budget.
+	OutcomeDepLost Outcome = "dep-lost"
 )
 
 // Attempt is one entry of the per-task event timeline: a single

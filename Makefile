@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench test-short test-cluster
+.PHONY: build test vet race verify bench bench-all test-short test-cluster
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,13 @@ race:
 
 verify: build vet race
 
+# Map-path benchmarks, published as BENCH_4.json (the baseline/default
+# sub-benchmark pairs become speedup + allocation-reduction rows).
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMapBufferSpill|BenchmarkMapPathE2E|BenchmarkMergeIter' -benchmem ./internal/mr/ | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_4.json
+
+# Every benchmark in the repository, human-readable.
+bench-all:
 	$(GO) test -bench=. -benchmem -run XXX ./...
 
 # Everything except the subprocess-spawning cluster integration tests

@@ -1,0 +1,89 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// abExperiments is the suite the map-path A/B harness replays under two
+// engine configurations. CPUThreshold is deliberately absent: the
+// Adaptive threshold rule (§7.6, Figure 7) measures real Map wall time
+// to pick an encoding, so its record flows are time-dependent by design
+// and not comparable run to run even within one configuration.
+var abExperiments = map[string]func(experiments.Config) error{
+	"Overhead":        func(c experiments.Config) error { _, err := experiments.Overhead(c); return err },
+	"QSMapOutput":     func(c experiments.Config) error { _, err := experiments.QSMapOutput(c); return err },
+	"QSCombiner":      func(c experiments.Config) error { _, err := experiments.QSCombiner(c); return err },
+	"QSCompression":   func(c experiments.Config) error { _, err := experiments.QSCompression(c); return err },
+	"QSCodecTable":    func(c experiments.Config) error { _, err := experiments.QSCodecTable(c); return err },
+	"QSCostBreakdown": func(c experiments.Config) error { _, err := experiments.QSCostBreakdown(c); return err },
+	"WordCount":       func(c experiments.Config) error { _, err := experiments.WordCount(c); return err },
+	"PageRank":        func(c experiments.Config) error { _, err := experiments.PageRank(c); return err },
+	"ThetaJoin":       func(c experiments.Config) error { _, err := experiments.ThetaJoin(c); return err },
+	"ScanShare":       func(c experiments.Config) error { _, err := experiments.ScanShare(c); return err },
+	"CrossCall":       func(c experiments.Config) error { _, err := experiments.CrossCall(c); return err },
+	"Skew":            func(c experiments.Config) error { _, err := experiments.Skew(c); return err },
+}
+
+// TestMapPathExperimentDigests is the repository-level A/B proof for
+// the map-path overhaul: the full experiment suite, run once under the
+// historical engine configuration (sequential spills, pooling off) and
+// once under the overhauled default (bucketed sort, pooled buffers,
+// parallel spill/merge), must record identical per-job output digests —
+// output records, logical counters, and per-partition shuffle flows all
+// byte-for-byte equal.
+func TestMapPathExperimentDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the experiment suite twice")
+	}
+	run := func(sequential bool) map[string]map[string][]string {
+		out := make(map[string]map[string][]string)
+		for name, fn := range abExperiments {
+			cfg := experiments.Config{Scale: 0.05, Reducers: 4, Splits: 4}
+			cfg.Digests = experiments.NewOutputDigests()
+			if sequential {
+				cfg.SpillParallelism = 1
+				cfg.DisablePooling = true
+			}
+			if err := fn(cfg); err != nil {
+				t.Fatalf("%s (sequential=%v): %v", name, sequential, err)
+			}
+			out[name] = cfg.Digests.Snapshot()
+		}
+		return out
+	}
+	base := run(true)
+	fast := run(false)
+
+	for name, baseJobs := range base {
+		fastJobs := fast[name]
+		if len(baseJobs) == 0 {
+			t.Errorf("%s: recorded no digests — experiment bypasses the instrumented job runner", name)
+			continue
+		}
+		for job, baseSums := range baseJobs {
+			fastSums, ok := fastJobs[job]
+			if !ok {
+				t.Errorf("%s: job %q ran under the sequential engine only", name, job)
+				continue
+			}
+			if len(baseSums) != len(fastSums) {
+				t.Errorf("%s: job %q ran %d times sequential, %d times parallel",
+					name, job, len(baseSums), len(fastSums))
+				continue
+			}
+			for i := range baseSums {
+				if baseSums[i] != fastSums[i] {
+					t.Errorf("%s: job %q run %d digest differs:\nsequential %s\nparallel   %s",
+						name, job, i, baseSums[i], fastSums[i])
+				}
+			}
+		}
+		for job := range fastJobs {
+			if _, ok := baseJobs[job]; !ok {
+				t.Errorf("%s: job %q ran under the parallel engine only", name, job)
+			}
+		}
+	}
+}

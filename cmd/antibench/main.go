@@ -69,6 +69,8 @@ func main() {
 		reducers = flag.Int("reducers", 8, "reduce tasks per job")
 		splits   = flag.Int("splits", 8, "map tasks per job")
 		par      = flag.Int("parallelism", 0, "concurrent tasks (0 = GOMAXPROCS); 1 gives the most stable CPU numbers")
+		spillPar = flag.Int("spill-parallelism", 0, "per-map-task spill/merge parallelism (0 = GOMAXPROCS); 1 pins the historical sequential path")
+		noPool   = flag.Bool("no-pooling", false, "disable the engine's steady-state buffer pools (A/B baseline)")
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
 		list     = flag.Bool("list", false, "list experiments and exit")
 
@@ -100,11 +102,13 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Scale:       *scale,
-		Seed:        *seed,
-		Reducers:    *reducers,
-		Splits:      *splits,
-		Parallelism: *par,
+		Scale:            *scale,
+		Seed:             *seed,
+		Reducers:         *reducers,
+		Splits:           *splits,
+		Parallelism:      *par,
+		SpillParallelism: *spillPar,
+		DisablePooling:   *noPool,
 	}
 
 	if *traceOut != "" {

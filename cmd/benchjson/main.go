@@ -1,0 +1,175 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a machine-readable JSON report, deriving baseline-vs-
+// default comparisons for benchmarks that expose `<name>/baseline` and
+// `<name>/default` sub-benchmarks. The CI bench job pipes the map-path
+// benchmarks through it to publish BENCH_4.json.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/mr/ | benchjson -out BENCH_4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Comparison pairs a benchmark's baseline and default variants.
+type Comparison struct {
+	Name              string  `json:"name"`
+	SpeedupX          float64 `json:"speedup_x"`
+	BytesReductionPct float64 `json:"bytes_reduction_pct,omitempty"`
+	AllocReductionPct float64 `json:"alloc_reduction_pct,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Goos        string       `json:"goos,omitempty"`
+	Goarch      string       `json:"goarch,omitempty"`
+	Pkg         string       `json:"pkg,omitempty"`
+	CPU         string       `json:"cpu,omitempty"`
+	Benchmarks  []Benchmark  `json:"benchmarks"`
+	Comparisons []Comparison `json:"comparisons,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	report, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	report.Comparisons = compare(report.Benchmarks)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes `go test -bench` output: header key: value lines, then
+// result lines of the form
+//
+//	BenchmarkName-8   100   12345 ns/op   678 B/op   9 allocs/op
+func parse(sc *bufio.Scanner) (*Report, error) {
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	r := &Report{Benchmarks: []Benchmark{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			r.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			r.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			r.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			r.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseResult(line)
+			if ok {
+				r.Benchmarks = append(r.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	return r, nil
+}
+
+func parseResult(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, true
+}
+
+// compare derives speedup and allocation reductions for each
+// `X/baseline` + `X/default` sub-benchmark pair.
+func compare(benches []Benchmark) []Comparison {
+	byName := make(map[string]Benchmark, len(benches))
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	var out []Comparison
+	for _, b := range benches {
+		root, ok := strings.CutSuffix(b.Name, "/baseline")
+		if !ok {
+			continue
+		}
+		def, ok := byName[root+"/default"]
+		if !ok {
+			continue
+		}
+		c := Comparison{Name: root}
+		if def.NsPerOp > 0 {
+			c.SpeedupX = b.NsPerOp / def.NsPerOp
+		}
+		if b.BytesPerOp > 0 {
+			c.BytesReductionPct = 100 * (1 - def.BytesPerOp/b.BytesPerOp)
+		}
+		if b.AllocsPerOp > 0 {
+			c.AllocReductionPct = 100 * (1 - def.AllocsPerOp/b.AllocsPerOp)
+		}
+		out = append(out, c)
+	}
+	return out
+}

@@ -36,6 +36,21 @@ func (w *Writer) WriteRecord(key, value []byte) error {
 // Flush flushes buffered records to the underlying stream.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
+// Reset discards any buffered state, retargets the writer at dst, and
+// zeroes the record and byte counters, so writers (and their 64 KiB
+// buffers) can be pooled across spill runs instead of reallocated.
+// Reset(nil) parks the writer without holding a reference to its last
+// destination; a parked writer must be Reset again before use.
+func (w *Writer) Reset(dst io.Writer) {
+	if w.w == nil {
+		w.w = bufio.NewWriterSize(dst, 64<<10)
+	} else {
+		w.w.Reset(dst)
+	}
+	w.records = 0
+	w.bytes = 0
+}
+
 // Records reports how many records have been written.
 func (w *Writer) Records() int64 { return w.records }
 
@@ -53,6 +68,18 @@ type Reader struct {
 // NewReader returns a record reader over r.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Reset retargets the reader at src, discarding any buffered data. The
+// key/value scratch buffers are kept, so pooled readers converge on
+// steady-state allocation-free record decoding. Reset(nil) parks the
+// reader without pinning its last source.
+func (r *Reader) Reset(src io.Reader) {
+	if r.r == nil {
+		r.r = bufio.NewReaderSize(src, 64<<10)
+	} else {
+		r.r.Reset(src)
+	}
 }
 
 // ReadRecord reads the next record. It returns io.EOF cleanly at the end

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+
+	"repro/internal/mr"
+)
+
+// OutputDigests fingerprints job runs for A/B identity checks: two
+// engine configurations that claim byte-identical behaviour must record
+// equal digest sequences for every job of the experiment suite. The
+// digest folds in the sorted output records (when the job collected
+// them), the logical byte/record counters, and the per-partition
+// shuffle flows — so a map-path change that altered even one shuffled
+// byte, spilled once more or less, or reordered equal-key output shows
+// up as a digest mismatch. Safe for concurrent recording.
+type OutputDigests struct {
+	mu     sync.Mutex
+	byName map[string][]string
+}
+
+// NewOutputDigests returns an empty digest recorder.
+func NewOutputDigests() *OutputDigests {
+	return &OutputDigests{byName: make(map[string][]string)}
+}
+
+// Record fingerprints one finished run under the job's experiment name.
+// Jobs run repeatedly under one name (e.g. PageRank iterations) append
+// in order. No-op on a nil receiver, so recording is opt-in.
+func (d *OutputDigests) Record(name string, res *mr.Result) {
+	if d == nil {
+		return
+	}
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	s := res.Stats
+	for _, v := range []int64{
+		s.MapInputRecords, s.MapOutputRecords, s.MapOutputBytes,
+		s.Spills, s.CombineInputRecords, s.CombineOutputRecords,
+		s.ShuffleBytes, s.ReduceInputRecords, s.ReduceOutputRecords,
+	} {
+		writeInt(v)
+	}
+	for _, v := range res.ShufflePerPartition {
+		writeInt(v)
+	}
+	for _, r := range res.SortedOutput() {
+		writeInt(int64(len(r.Key)))
+		h.Write(r.Key)
+		writeInt(int64(len(r.Value)))
+		h.Write(r.Value)
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	d.mu.Lock()
+	d.byName[name] = append(d.byName[name], sum)
+	d.mu.Unlock()
+}
+
+// Snapshot copies the recorded digests, keyed by job name in recording
+// order.
+func (d *OutputDigests) Snapshot() map[string][]string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string][]string, len(d.byName))
+	for name, sums := range d.byName {
+		out[name] = append([]string(nil), sums...)
+	}
+	return out
+}

@@ -39,6 +39,18 @@ type Config struct {
 	// Metrics, when non-nil, gets every job's live counters registered;
 	// antibench wires it from -metrics.
 	Metrics *obs.Registry
+	// SpillParallelism overrides mr.Job.SpillParallelism on every job
+	// (0 keeps the engine default). 1 pins the historical sequential
+	// spill/merge path; antibench wires it from -spill-parallelism.
+	SpillParallelism int
+	// DisablePooling opts every job out of the engine's steady-state
+	// buffer pools — the A/B baseline for the pooled map path.
+	DisablePooling bool
+	// Digests, when non-nil, records a per-job fingerprint of each run's
+	// logical output (output records when collected, byte-level counters,
+	// per-partition shuffle flows). The A/B harness runs the experiment
+	// suite under two engine configurations and requires equal digests.
+	Digests *OutputDigests
 }
 
 func (c Config) normalized() Config {
@@ -91,6 +103,12 @@ func runJob(cfg Config, name string, job *mr.Job, splits []mr.Split) (RunMetrics
 	if cfg.Parallelism > 0 {
 		job.Parallelism = cfg.Parallelism
 	}
+	if cfg.SpillParallelism > 0 {
+		job.SpillParallelism = cfg.SpillParallelism
+	}
+	if cfg.DisablePooling {
+		job.DisablePooling = true
+	}
 	// Only override when configured, so an experiment can pre-wire its
 	// own tracer or registry on the job.
 	if cfg.Tracer != nil {
@@ -103,6 +121,7 @@ func runJob(cfg Config, name string, job *mr.Job, splits []mr.Split) (RunMetrics
 	if err != nil {
 		return RunMetrics{}, nil, fmt.Errorf("experiment job %s: %w", name, err)
 	}
+	cfg.Digests.Record(name, res)
 	m, err := metricsFrom(cfg, name, res)
 	return m, res, err
 }

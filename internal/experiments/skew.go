@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/datagen"
-	"repro/internal/mr"
 	"repro/internal/workloads/cpuwork"
 	"repro/internal/workloads/querysuggest"
 )
@@ -61,10 +60,7 @@ func Skew(cfg Config) (*SkewResult, error) {
 		job = cpuwork.WrapJob(job, 4) // expensive Map calls (§7.6 busy-work)
 		job = wrapVariant(job, variant)
 		job.DiscardOutput = true
-		if cfg.Parallelism > 0 {
-			job.Parallelism = cfg.Parallelism
-		}
-		res, err := mr.Run(job, splits)
+		_, res, err := runJob(cfg, "skew/"+variant, job, splits)
 		if err != nil {
 			return nil, err
 		}

@@ -1,8 +1,11 @@
 package mr
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 
 	"repro/internal/bytesx"
@@ -20,10 +23,13 @@ type segment struct {
 }
 
 // mapBuffer is the map-side collect buffer: records accumulate in an
-// arena until SortBufferBytes is reached, then the buffer is sorted by
-// (partition, key) and spilled to one file per partition, optionally
-// running the combiner over each sorted key group — Hadoop's collect /
-// sort-and-spill pipeline.
+// arena until SortBufferBytes is reached, then the buffer is bucketed
+// by partition, key-sorted per bucket, and spilled to one file per
+// partition, optionally running the combiner over each sorted key
+// group — Hadoop's collect / sort-and-spill pipeline. The arena, entry
+// index, and bucketing scratch come from pools (unless the job
+// disables pooling) and are released by finish, so steady-state tasks
+// reuse each other's buffers instead of growing fresh ones.
 type mapBuffer struct {
 	job      *Job
 	fs       iokit.FS
@@ -34,6 +40,8 @@ type mapBuffer struct {
 
 	arena   []byte
 	entries []bufEntry
+	scratch []bufEntry // partition-bucketing scatter target
+	offs    []int      // per-partition counters/offsets scratch
 	spills  int
 	segs    []segment
 }
@@ -48,8 +56,20 @@ func newMapBuffer(job *Job, fs iokit.FS, counters *Counters, taskID, attempt int
 	return &mapBuffer{
 		job: job, fs: fs, counters: counters,
 		taskID: taskID, attempt: attempt,
-		dir: mapTaskDir(job, taskID, attempt),
+		dir:     mapTaskDir(job, taskID, attempt),
+		arena:   getArena(job),
+		entries: getEntries(job),
+		scratch: getEntries(job),
 	}
+}
+
+// release returns the buffer's pooled memory. Call once, after the last
+// spill; the produced segments live on disk and keep no reference.
+func (b *mapBuffer) release() {
+	putArena(b.job, b.arena)
+	putEntries(b.job, b.entries)
+	putEntries(b.job, b.scratch)
+	b.arena, b.entries, b.scratch, b.offs = nil, nil, nil, nil
 }
 
 func (b *mapBuffer) key(e bufEntry) []byte {
@@ -85,46 +105,151 @@ func (b *mapBuffer) add(partition int, key, value []byte) error {
 	return nil
 }
 
-// spill sorts the buffered records by (partition, key) and writes one
-// sorted segment per non-empty partition.
+// spillWorkers bounds a spill-internal worker pool at the job's spill
+// parallelism and the amount of independent work.
+func (b *mapBuffer) spillWorkers(n int) int {
+	if w := b.job.SpillParallelism; w < n {
+		return w
+	}
+	return n
+}
+
+// spill orders the buffered records by (partition, key) — partition
+// bucketing followed by an in-bucket key sort — and writes one sorted
+// segment per non-empty partition, in parallel across partitions when
+// SpillParallelism allows.
 func (b *mapBuffer) spill() error {
 	if len(b.entries) == 0 {
 		return nil
 	}
-	cmp := b.job.KeyCompare
-	sort.SliceStable(b.entries, func(i, j int) bool {
-		ei, ej := b.entries[i], b.entries[j]
-		if ei.partition != ej.partition {
-			return ei.partition < ej.partition
-		}
-		return cmp(b.key(ei), b.key(ej)) < 0
-	})
+	span := b.job.Tracer.Start(obs.KindSpill,
+		fmt.Sprintf("%s/spill%04d", b.dir, b.spills),
+		obs.Int("records", int64(len(b.entries))),
+		obs.Int("parallelism", int64(b.job.SpillParallelism)))
+	ends := b.sortByPartitionKey()
 
 	spillID := b.spills
 	b.spills++
 	b.counters.spills.Add(1)
 
-	for start := 0; start < len(b.entries); {
-		part := b.entries[start].partition
-		end := start
-		for end < len(b.entries) && b.entries[end].partition == part {
-			end++
+	// Cut the ordered entries into per-partition runs. Runs write
+	// independent files, so they proceed concurrently; segments are
+	// committed in partition order regardless of completion order, which
+	// keeps b.segs — and therefore every downstream merge — identical to
+	// the sequential path.
+	type run struct {
+		name    string
+		part    int
+		entries []bufEntry
+	}
+	runs := make([]run, 0, len(ends))
+	start := 0
+	for part, end := range ends {
+		if end > start {
+			runs = append(runs, run{
+				name:    fmt.Sprintf("%s/spill%04d.p%04d", b.dir, spillID, part),
+				part:    part,
+				entries: b.entries[start:end],
+			})
 		}
-		name := fmt.Sprintf("%s/spill%04d.p%04d", b.dir, spillID, part)
-		seg, err := b.writeRun(name, int(part), b.entries[start:end])
+		start = end
+	}
+	segs := make([]segment, len(runs))
+	err := runPool(context.Background(), b.spillWorkers(len(runs)), len(runs), func(_ context.Context, i int) error {
+		seg, err := b.writeRun(runs[i].name, runs[i].part, runs[i].entries)
 		if err != nil {
 			return err
 		}
-		b.segs = append(b.segs, seg)
-		start = end
+		segs[i] = seg
+		return nil
+	})
+	if err != nil {
+		span.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
+		return err
 	}
+	b.segs = append(b.segs, segs...)
 	b.arena = b.arena[:0]
 	b.entries = b.entries[:0]
+	span.End(obs.Int("segments", int64(len(segs))))
 	return nil
 }
 
+// sortByPartitionKey orders b.entries by (partition, key) and returns
+// the per-partition bucket end offsets. Instead of one comparison sort
+// over the composite (partition, key), it buckets by partition with a
+// stable O(n) counting scatter and then key-sorts each bucket. Within a
+// bucket, equal keys keep insertion order: entries are appended to the
+// arena in emission order, so keyOff is a unique, monotone insertion
+// stamp (entries with equal keyOff are fully empty records, where order
+// cannot matter) and serves as the tie-break — an unstable sort with
+// this tie-break reproduces the stable sort's order exactly.
+func (b *mapBuffer) sortByPartitionKey() []int {
+	nPart := b.job.NumReduceTasks
+	n := len(b.entries)
+	if cap(b.offs) < nPart {
+		b.offs = make([]int, nPart)
+	}
+	offs := b.offs[:nPart]
+	for i := range offs {
+		offs[i] = 0
+	}
+	for _, e := range b.entries {
+		offs[e.partition]++
+	}
+	sum := 0
+	for p, c := range offs {
+		offs[p] = sum
+		sum += c
+	}
+	if cap(b.scratch) < n {
+		b.scratch = make([]bufEntry, 0, n)
+	}
+	scratch := b.scratch[:n]
+	for _, e := range b.entries {
+		scratch[offs[e.partition]] = e
+		offs[e.partition]++
+	}
+	// After the scatter offs[p] is bucket p's end offset. Swap the
+	// scatter target in as the live entry slice; the old one becomes
+	// next spill's scratch.
+	b.entries, b.scratch = scratch, b.entries[:0]
+
+	if b.job.rawKeyOrder {
+		// Fast path: the default raw-bytes order inlines bytes.Compare
+		// instead of calling through the comparator function value.
+		arena := b.arena
+		start := 0
+		for _, end := range offs {
+			if end-start > 1 {
+				slices.SortFunc(b.entries[start:end], func(x, y bufEntry) int {
+					if c := bytes.Compare(arena[x.keyOff:x.keyOff+x.keyLen], arena[y.keyOff:y.keyOff+y.keyLen]); c != 0 {
+						return c
+					}
+					return int(x.keyOff - y.keyOff)
+				})
+			}
+			start = end
+		}
+		return offs
+	}
+	cmp := b.job.KeyCompare
+	start := 0
+	for _, end := range offs {
+		if end-start > 1 {
+			slices.SortFunc(b.entries[start:end], func(x, y bufEntry) int {
+				if c := cmp(b.key(x), b.key(y)); c != 0 {
+					return c
+				}
+				return int(x.keyOff - y.keyOff)
+			})
+		}
+		start = end
+	}
+	return offs
+}
+
 // writeRun writes one sorted partition run, applying the combiner when
-// configured.
+// configured. On error the partial run file is removed.
 func (b *mapBuffer) writeRun(name string, partition int, entries []bufEntry) (segment, error) {
 	f, err := b.fs.Create(name)
 	if err != nil {
@@ -135,13 +260,15 @@ func (b *mapBuffer) writeRun(name string, partition int, entries []bufEntry) (se
 		f.Close()
 		return segment{}, err
 	}
-	w := bytesx.NewWriter(cw)
+	w := getRecordWriter(b.job, cw)
 
 	if b.job.NewCombiner != nil {
 		span := b.job.Tracer.Start(obs.KindCombine, name, obs.Int("records_in", int64(len(entries))))
 		err = b.combineRun(partition, entries, w)
 		if err == nil {
 			span.End(obs.Int("records_out", w.Records()))
+		} else {
+			span.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
 		}
 	} else {
 		for _, e := range entries {
@@ -153,6 +280,8 @@ func (b *mapBuffer) writeRun(name string, partition int, entries []bufEntry) (se
 	if err == nil {
 		err = w.Flush()
 	}
+	records, rawBytes := w.Records(), w.Bytes()
+	putRecordWriter(b.job, w)
 	if cerr := cw.Close(); err == nil {
 		err = cerr
 	}
@@ -160,9 +289,10 @@ func (b *mapBuffer) writeRun(name string, partition int, entries []bufEntry) (se
 		err = cerr
 	}
 	if err != nil {
+		removeQuiet(b.fs, name)
 		return segment{}, err
 	}
-	return segment{partition: partition, file: name, records: w.Records(), rawBytes: w.Bytes()}, nil
+	return segment{partition: partition, file: name, records: records, rawBytes: rawBytes}, nil
 }
 
 // combineRun groups the sorted entries by key and runs the combiner over
@@ -219,13 +349,16 @@ type valueIterFunc func() ([]byte, bool)
 
 func (f valueIterFunc) Next() ([]byte, bool) { return f() }
 
-// finish spills any buffered records and merges each partition's spill
-// segments into a single map output segment, mirroring Hadoop's final
-// on-disk merge. With a single spill the spill files are the output.
+// finish spills any buffered records, releases the pooled buffers, and
+// merges each partition's spill segments into a single map output
+// segment, mirroring Hadoop's final on-disk merge. Per-partition merges
+// are independent and run under the spill-parallelism bound. With a
+// single spill the spill files are the output.
 func (b *mapBuffer) finish() ([]segment, error) {
 	if err := b.spill(); err != nil {
 		return nil, err
 	}
+	b.release()
 	if b.spills <= 1 {
 		return b.segs, nil
 	}
@@ -233,20 +366,29 @@ func (b *mapBuffer) finish() ([]segment, error) {
 	for _, s := range b.segs {
 		byPart[s.partition] = append(byPart[s.partition], s)
 	}
+	parts := make([]int, 0, len(byPart))
+	for part := range byPart {
+		parts = append(parts, part)
+	}
+	sort.Ints(parts)
 	// Hadoop applies the combiner during the final merge only when
 	// enough spills occurred (min.num.spills.for.combine, default 3).
 	useCombiner := b.job.NewCombiner != nil && b.spills >= 3
-	var out []segment
-	for part, segs := range byPart {
+	out := make([]segment, len(parts))
+	err := runPool(context.Background(), b.spillWorkers(len(parts)), len(parts), func(_ context.Context, i int) error {
+		part := parts[i]
 		merged, err := mergeSegments(b.job, b.fs, b.counters,
 			fmt.Sprintf("%s/out.p%04d", b.dir, part),
-			part, segs, useCombiner, b.taskID, true)
+			part, byPart[part], useCombiner, b.taskID, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, merged)
+		out[i] = merged
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].partition < out[j].partition })
 	return out, nil
 }
 
@@ -261,7 +403,9 @@ func openSegment(job *Job, fs iokit.FS, seg segment) (recordStream, error) {
 		f.Close()
 		return nil, err
 	}
-	return &readerStream{r: bytesx.NewReader(cr), close: func() error {
+	rd := getRecordReader(job, cr)
+	return &readerStream{r: rd, close: func() error {
+		putRecordReader(job, rd)
 		if err := cr.Close(); err != nil {
 			f.Close()
 			return err
@@ -270,37 +414,89 @@ func openSegment(job *Job, fs iokit.FS, seg segment) (recordStream, error) {
 	}}, nil
 }
 
+// removeQuiet best-effort deletes a file, tolerating files that were
+// never fully created (e.g. a MemFS file whose handle never closed).
+func removeQuiet(fs iokit.FS, name string) {
+	_ = fs.Remove(name)
+}
+
 // mergeSegments k-way merges sorted segments of one partition into a new
 // segment file, optionally combining key groups. removeInputs deletes
 // consumed input files (the map-side behaviour); reduce-side merges keep
 // them when task retries are enabled so a retried attempt can redo the
 // merge from intact files. When the input count exceeds the job's merge
 // factor, intermediate passes reduce it first (Hadoop's multi-pass
-// merge).
+// merge), each pass consuming the smallest candidates — Hadoop's
+// Merger policy — so the bytes re-read per extra pass are minimized.
+// Intermediate pass files are internal to the merge: they are removed
+// once the final pass succeeds, and on any error, so a failed merge
+// orphans nothing (the original inputs survive under the reduce-side
+// keep-inputs mode, letting a retry redo the merge).
 func mergeSegments(job *Job, fs iokit.FS, counters *Counters, name string, partition int, segs []segment, useCombiner bool, taskID int, removeInputs bool) (segment, error) {
 	pass := 0
+	var intermediates []string
+	cleanup := func() {
+		for _, f := range intermediates {
+			removeQuiet(fs, f)
+		}
+	}
 	for len(segs) > job.MergeFactor {
+		if pass == 0 {
+			segs = append([]segment(nil), segs...) // callers keep their slices
+		}
+		// Smallest-first batching; ties break on file name so batch
+		// composition — and thus output bytes — stays deterministic.
+		sort.SliceStable(segs, func(i, j int) bool {
+			if segs[i].rawBytes != segs[j].rawBytes {
+				return segs[i].rawBytes < segs[j].rawBytes
+			}
+			return segs[i].file < segs[j].file
+		})
 		batch := segs[:job.MergeFactor]
 		rest := segs[job.MergeFactor:]
 		interName := fmt.Sprintf("%s.pass%04d", name, pass)
 		pass++
 		inter, err := mergeOnce(job, fs, counters, interName, partition, batch, false, taskID, removeInputs)
 		if err != nil {
+			cleanup()
 			return segment{}, err
 		}
+		intermediates = append(intermediates, interName)
 		segs = append(rest, inter)
 	}
-	return mergeOnce(job, fs, counters, name, partition, segs, useCombiner, taskID, removeInputs)
+	final, err := mergeOnce(job, fs, counters, name, partition, segs, useCombiner, taskID, removeInputs)
+	if err != nil {
+		cleanup()
+		return segment{}, err
+	}
+	// Pass files already consumed by a removeInputs merge are gone;
+	// under keep-inputs mode this is what deletes them.
+	cleanup()
+	return final, nil
 }
 
-func mergeOnce(job *Job, fs iokit.FS, counters *Counters, name string, partition int, segs []segment, useCombiner bool, taskID int, removeInputs bool) (segment, error) {
-	streams := make([]recordStream, len(segs))
-	for i, s := range segs {
-		st, err := openSegment(job, fs, s)
+// mergeOnce merges segs into one output segment. Every error path
+// closes all still-open input streams and removes the partial output,
+// so a failed merge leaks neither file handles nor orphan files.
+func mergeOnce(job *Job, fs iokit.FS, counters *Counters, name string, partition int, segs []segment, useCombiner bool, taskID int, removeInputs bool) (seg segment, err error) {
+	streams := make([]recordStream, 0, len(segs))
+	defer func() {
 		if err != nil {
+			// Streams exhausted to EOF have closed themselves; close the
+			// rest and drop whatever partial output exists.
+			for _, st := range streams {
+				closeRecordStream(st)
+			}
+			removeQuiet(fs, name)
+		}
+	}()
+	for _, s := range segs {
+		st, oerr := openSegment(job, fs, s)
+		if oerr != nil {
+			err = oerr
 			return segment{}, err
 		}
-		streams[i] = st
+		streams = append(streams, st)
 	}
 	merged, err := newMergeIter(streams, job.KeyCompare)
 	if err != nil {
@@ -316,13 +512,15 @@ func mergeOnce(job *Job, fs iokit.FS, counters *Counters, name string, partition
 		f.Close()
 		return segment{}, err
 	}
-	w := bytesx.NewWriter(cw)
+	w := getRecordWriter(job, cw)
 
 	if useCombiner {
 		span := job.Tracer.Start(obs.KindCombine, name)
 		err = combineMerged(job, fs, counters, partition, merged, w, taskID)
 		if err == nil {
 			span.End(obs.Int("records_out", w.Records()))
+		} else {
+			span.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
 		}
 	} else {
 		for {
@@ -342,6 +540,8 @@ func mergeOnce(job *Job, fs iokit.FS, counters *Counters, name string, partition
 	if err == nil {
 		err = w.Flush()
 	}
+	records, rawBytes := w.Records(), w.Bytes()
+	putRecordWriter(job, w)
 	if cerr := cw.Close(); err == nil {
 		err = cerr
 	}
@@ -353,12 +553,12 @@ func mergeOnce(job *Job, fs iokit.FS, counters *Counters, name string, partition
 	}
 	if removeInputs {
 		for _, s := range segs {
-			if err := fs.Remove(s.file); err != nil {
+			if err = fs.Remove(s.file); err != nil {
 				return segment{}, err
 			}
 		}
 	}
-	return segment{partition: partition, file: name, records: w.Records(), rawBytes: w.Bytes()}, nil
+	return segment{partition: partition, file: name, records: records, rawBytes: rawBytes}, nil
 }
 
 // combineMerged runs the combiner over key groups of a merged stream.

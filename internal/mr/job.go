@@ -51,6 +51,19 @@ type Job struct {
 	// Parallelism caps concurrently running tasks. Defaults to
 	// runtime.GOMAXPROCS(0).
 	Parallelism int
+	// SpillParallelism caps concurrent per-partition work inside one map
+	// task: the run writes of a single spill and the per-partition final
+	// merges run on up to this many goroutines. Independent runs write
+	// independent files, so output is byte-identical at any setting.
+	// Defaults to runtime.GOMAXPROCS(0); 1 reproduces the historical
+	// strictly sequential spill/merge path.
+	SpillParallelism int
+	// DisablePooling turns off the engine's steady-state buffer pools
+	// (collect arenas, entry slices, spill writers/readers, shuffle copy
+	// buffers), so every task allocates fresh memory. It exists as the
+	// A/B baseline for the pooled fast path; output bytes are identical
+	// either way.
+	DisablePooling bool
 	// TCPShuffle routes the shuffle through a real loopback TCP
 	// listener (map output segments are served over sockets and copied
 	// to reducer-local files before merging, like Hadoop's fetch phase)
@@ -97,6 +110,11 @@ type Job struct {
 	// CollectOutput controls whether reduce output records are gathered
 	// into Result.Output. Defaults to true; large jobs can disable it.
 	DiscardOutput bool
+
+	// rawKeyOrder is set by normalized when KeyCompare was left nil: the
+	// default bytesx.Bytes order lets the spill sort inline bytes.Compare
+	// instead of calling through the comparator function pointer.
+	rawKeyOrder bool
 }
 
 // errJob reports an invalid job configuration.
@@ -122,6 +140,7 @@ func (j *Job) normalized() (*Job, error) {
 	}
 	if c.KeyCompare == nil {
 		c.KeyCompare = bytesx.Bytes
+		c.rawKeyOrder = true
 	}
 	if c.GroupCompare == nil {
 		c.GroupCompare = c.KeyCompare
@@ -140,6 +159,9 @@ func (j *Job) normalized() (*Job, error) {
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.SpillParallelism <= 0 {
+		c.SpillParallelism = runtime.GOMAXPROCS(0)
 	}
 	switch c.Scheduler {
 	case "":

@@ -1,0 +1,169 @@
+package mr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/iokit"
+)
+
+// trackFS wraps an FS and counts open handles, so fault-injection tests
+// can assert that error paths close every file they opened. It wraps
+// the outermost layer (above any fault injector), counting exactly the
+// handles the engine sees.
+type trackFS struct {
+	inner iokit.FS
+	open  atomic.Int64
+}
+
+func (t *trackFS) Create(name string) (io.WriteCloser, error) {
+	w, err := t.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	t.open.Add(1)
+	return &trackedHandle{fs: t, c: w, w: w}, nil
+}
+
+func (t *trackFS) Open(name string) (io.ReadCloser, error) {
+	r, err := t.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	t.open.Add(1)
+	return &trackedHandle{fs: t, c: r, r: r}, nil
+}
+
+func (t *trackFS) Remove(name string) error        { return t.inner.Remove(name) }
+func (t *trackFS) Size(name string) (int64, error) { return t.inner.Size(name) }
+func (t *trackFS) List() ([]string, error)         { return t.inner.List() }
+
+// trackedHandle decrements the open count on first Close only, so
+// idempotent double closes do not drive the count negative.
+type trackedHandle struct {
+	fs     *trackFS
+	c      io.Closer
+	w      io.Writer
+	r      io.Reader
+	closed bool
+}
+
+func (h *trackedHandle) Write(p []byte) (int, error) { return h.w.Write(p) }
+func (h *trackedHandle) Read(p []byte) (int, error)  { return h.r.Read(p) }
+
+func (h *trackedHandle) Close() error {
+	if !h.closed {
+		h.closed = true
+		h.fs.open.Add(-1)
+	}
+	return h.c.Close()
+}
+
+// TestMergeFaultCleanup drives a forced multi-pass merge into injected
+// read and write faults at every byte-level op offset, and asserts a
+// failed merge leaks nothing: no open file handles, no intermediate
+// .pass files, no partial output — and the input segments stay intact
+// (keep-inputs mode), so a retry could redo the merge.
+func TestMergeFaultCleanup(t *testing.T) {
+	// Build the input segments once on a pristine FS; each sweep round
+	// copies them into a fresh flaky+tracked stack.
+	for _, mode := range []string{"read", "write"} {
+		for n := int64(1); ; n++ {
+			mem := iokit.NewMemFS()
+			flaky := &iokit.FlakyFS{Inner: mem}
+			tracked := &trackFS{inner: flaky}
+			job := wordCountJob(false)
+			job.MergeFactor = 2
+			j, err := job.normalized()
+			if err != nil {
+				t.Fatal(err)
+			}
+			segs := make([]segment, 6)
+			var inputs []string
+			for i := range segs {
+				name := fmt.Sprintf("in%02d", i)
+				seg, err := writeTestSegment(j, mem, name, 0, i, 20+i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				segs[i] = seg
+				inputs = append(inputs, name)
+			}
+			if mode == "read" {
+				flaky.FailReadAt = n
+			} else {
+				flaky.FailWriteAt = n
+			}
+			counters := &Counters{}
+			_, err = mergeSegments(j, tracked, counters, "merged", 0, segs, false, 0, false)
+			if err == nil {
+				if n == 1 {
+					t.Fatalf("%s sweep: fault at op 1 did not surface", mode)
+				}
+				break // fault offset beyond the merge's total ops: sweep done
+			}
+			if !errors.Is(err, iokit.ErrInjected) {
+				t.Fatalf("%s@%d: error does not wrap injection: %v", mode, n, err)
+			}
+			if open := tracked.open.Load(); open != 0 {
+				t.Fatalf("%s@%d: %d file handles left open after failed merge", mode, n, open)
+			}
+			files, lerr := mem.List()
+			if lerr != nil {
+				t.Fatal(lerr)
+			}
+			got := map[string]bool{}
+			for _, f := range files {
+				got[f] = true
+				if strings.Contains(f, ".pass") {
+					t.Fatalf("%s@%d: orphaned intermediate %s after failed merge", mode, n, f)
+				}
+				if f == "merged" {
+					t.Fatalf("%s@%d: partial output file survived failed merge", mode, n)
+				}
+			}
+			for _, in := range inputs {
+				if !got[in] {
+					t.Fatalf("%s@%d: keep-inputs merge lost input %s", mode, n, in)
+				}
+			}
+		}
+	}
+}
+
+// TestRunFaultHandleLeaks sweeps injected faults across whole runs —
+// spills, map-side merges, shuffle reads, reduce merges — and asserts
+// that no run, failed or successful, finishes with file handles open.
+func TestRunFaultHandleLeaks(t *testing.T) {
+	input := lines(
+		strings.Repeat("fault injection words ", 150),
+		strings.Repeat("leak hunting sweep ", 150),
+	)
+	for _, mode := range []string{"read", "write"} {
+		for n := int64(1); n <= 150; n += 5 {
+			flaky := &iokit.FlakyFS{Inner: iokit.NewMemFS()}
+			if mode == "read" {
+				flaky.FailReadAt = n
+			} else {
+				flaky.FailWriteAt = n
+			}
+			tracked := &trackFS{inner: flaky}
+			job := wordCountJob(true)
+			job.FS = tracked
+			job.SortBufferBytes = 2 << 10
+			job.MergeFactor = 2
+			job.Parallelism = 1
+			_, err := Run(job, input)
+			if err != nil && !errors.Is(err, iokit.ErrInjected) {
+				t.Fatalf("%s@%d: error does not wrap injection: %v", mode, n, err)
+			}
+			if open := tracked.open.Load(); open != 0 {
+				t.Fatalf("%s@%d: %d file handles open after Run (err=%v)", mode, n, open, err)
+			}
+		}
+	}
+}

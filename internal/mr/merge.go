@@ -16,21 +16,52 @@ type recordStream interface {
 }
 
 // readerStream adapts a bytesx.Reader (over a spill or segment file).
+// It closes itself on clean EOF; close may release the reader to a pool,
+// so next guards against use after release.
 type readerStream struct {
 	r     *bytesx.Reader
 	close func() error
 }
 
 func (s *readerStream) next() ([]byte, []byte, error) {
+	if s.r == nil {
+		return nil, nil, io.EOF
+	}
 	k, v, err := s.r.ReadRecord()
-	if errors.Is(err, io.EOF) && s.close != nil {
-		cerr := s.close()
-		s.close = nil
-		if cerr != nil {
+	if errors.Is(err, io.EOF) {
+		if cerr := s.closeStream(); cerr != nil {
 			return nil, nil, cerr
 		}
 	}
 	return k, v, err
+}
+
+// closeStream closes the underlying file (and returns any pooled
+// reader). It is idempotent, so error-path cleanup can close every
+// stream of a merge without tracking which ones already hit EOF.
+func (s *readerStream) closeStream() error {
+	if s.close == nil {
+		return nil
+	}
+	c := s.close
+	s.close = nil
+	s.r = nil
+	return c()
+}
+
+// streamCloser is implemented by record streams holding resources that
+// outlive a failed merge.
+type streamCloser interface {
+	closeStream() error
+}
+
+// closeRecordStream best-effort closes a stream if it holds resources.
+// Used on merge error paths, where the primary error is already being
+// returned.
+func closeRecordStream(s recordStream) {
+	if c, ok := s.(streamCloser); ok {
+		_ = c.closeStream()
+	}
 }
 
 // mergeIter merges multiple sorted record streams into one sorted
@@ -43,8 +74,13 @@ type mergeIter struct {
 
 type mergeItem struct {
 	key, value []byte
-	stream     recordStream
-	index      int
+	// spareKey/spareVal double-buffer the stream's records: the slices
+	// handed to the caller at call n are recycled as the copy target at
+	// call n+1, honoring the documented one-call validity window with
+	// zero steady-state allocation.
+	spareKey, spareVal []byte
+	stream             recordStream
+	index              int
 }
 
 type mergeHeap struct {
@@ -104,8 +140,10 @@ func (m *mergeIter) next() ([]byte, []byte, error) {
 	top := m.items.items[0]
 	key, value := top.key, top.value
 	// Advance the winning stream and restore the heap. The popped
-	// key/value are handed to the caller, so fresh buffers are cloned
-	// for the stream's next record.
+	// key/value are handed to the caller; the stream's next record is
+	// copied into the item's spare buffers (recycled from the record
+	// handed out one call earlier), so the steady state allocates
+	// nothing.
 	k, v, err := top.stream.next()
 	if errors.Is(err, io.EOF) {
 		heap.Pop(&m.items)
@@ -113,8 +151,10 @@ func (m *mergeIter) next() ([]byte, []byte, error) {
 		m.err = err
 		return nil, nil, err
 	} else {
-		top.key = bytesx.Clone(k)
-		top.value = bytesx.Clone(v)
+		top.spareKey = append(top.spareKey[:0], k...)
+		top.spareVal = append(top.spareVal[:0], v...)
+		top.key, top.spareKey = top.spareKey, top.key
+		top.value, top.spareVal = top.spareVal, top.value
 		heap.Fix(&m.items, 0)
 	}
 	return key, value, nil

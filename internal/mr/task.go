@@ -159,7 +159,7 @@ func runReduceTask(ctx context.Context, job *Job, fs iokit.FS, counters *Counter
 // partition's (already local) sorted segments and invoke Reduce once
 // per key group. attempt scopes intermediate file names so scheduler
 // retries never collide with a previous attempt's partial output.
-func reduceMerge(ctx context.Context, job *Job, fs iokit.FS, counters *Counters, partition, attempt int, segs []segment) ([]Record, error) {
+func reduceMerge(ctx context.Context, job *Job, fs iokit.FS, counters *Counters, partition, attempt int, segs []segment) (output []Record, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("mr: reduce task %d: %w", partition, err)
 	}
@@ -181,13 +181,23 @@ func reduceMerge(ctx context.Context, job *Job, fs iokit.FS, counters *Counters,
 		segs = []segment{merged}
 	}
 
-	streams := make([]recordStream, len(segs))
-	for i, s := range segs {
-		st, err := openSegment(job, fs, s)
+	streams := make([]recordStream, 0, len(segs))
+	// A failed reduce must not hold its inputs open: close whatever
+	// streams remain un-exhausted (EOF'd ones have closed themselves).
+	defer func() {
 		if err != nil {
+			for _, st := range streams {
+				closeRecordStream(st)
+			}
+		}
+	}()
+	for _, s := range segs {
+		st, oerr := openSegment(job, fs, s)
+		if oerr != nil {
+			err = oerr
 			return nil, err
 		}
-		streams[i] = st
+		streams = append(streams, st)
 	}
 	merged, err := newMergeIter(streams, job.KeyCompare)
 	if err != nil {
@@ -209,7 +219,6 @@ func reduceMerge(ctx context.Context, job *Job, fs iokit.FS, counters *Counters,
 		FS:            fs,
 		Tracer:        job.Tracer,
 	}
-	var output []Record
 	out := EmitterFunc(func(k, v []byte) error {
 		counters.reduceOutRecords.Add(1)
 		if !job.DiscardOutput {
@@ -253,6 +262,8 @@ func reduceMerge(ctx context.Context, job *Job, fs iokit.FS, counters *Counters,
 // from prefix, which callers scope per (partition, map task, attempt).
 func fetchSegments(ctx context.Context, fs iokit.FS, transport Transport, job *Job, partition int, prefix string, segs []segment) ([]segment, error) {
 	local := make([]segment, len(segs))
+	copyBuf := getCopyBuf(job)
+	defer putCopyBuf(job, copyBuf)
 	for i, s := range segs {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("mr: reduce task %d fetch: %w", partition, err)
@@ -263,25 +274,29 @@ func fetchSegments(ctx context.Context, fs iokit.FS, transport Transport, job *J
 			obs.Int("partition", int64(partition)))
 		rc, size, err := transport.Fetch(ctx, fs, s.file)
 		if err != nil {
+			span.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
 			return nil, fmt.Errorf("mr: reduce task %d fetching %s: %w", partition, s.file, err)
 		}
 		name := fmt.Sprintf("%s%04d", prefix, i)
 		f, err := fs.Create(name)
 		if err != nil {
 			rc.Close()
+			span.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
 			return nil, err
 		}
-		n, err := io.Copy(f, rc)
+		n, err := io.CopyBuffer(f, rc, copyBuf)
 		rc.Close()
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
-		if err != nil {
-			return nil, fmt.Errorf("mr: reduce task %d copying %s: %w", partition, s.file, err)
-		}
-		if n != size {
-			return nil, fmt.Errorf("mr: reduce task %d fetched %d bytes of %s, want %d: %w",
+		if err == nil && n != size {
+			err = fmt.Errorf("mr: reduce task %d fetched %d bytes of %s, want %d: %w",
 				partition, n, s.file, size, errShortFetch)
+		}
+		if err != nil {
+			removeQuiet(fs, name)
+			span.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
+			return nil, fmt.Errorf("mr: reduce task %d copying %s: %w", partition, s.file, err)
 		}
 		span.End(obs.Int("bytes", n))
 		local[i] = segment{partition: partition, file: name, records: s.records, rawBytes: s.rawBytes}

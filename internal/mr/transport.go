@@ -132,11 +132,13 @@ func (s *SegmentServer) serve() {
 // client closes it or a frame is malformed.
 func (s *SegmentServer) handleConn(conn net.Conn) {
 	for {
-		name, err := readLenPrefixed(conn, maxNameFrame)
+		nameBuf, err := readLenPrefixed(conn, maxNameFrame)
 		if err != nil {
 			return // client done (EOF) or bad frame
 		}
-		if !s.handleOne(conn, string(name)) {
+		name := string(nameBuf)
+		putFrameBuf(nameBuf)
+		if !s.handleOne(conn, name) {
 			return
 		}
 	}
@@ -210,8 +212,9 @@ func readLenPrefixed(r io.Reader, max uint64) ([]byte, error) {
 	if n > max {
 		return nil, fmt.Errorf("mr: transport frame of %d bytes exceeds limit %d", n, max)
 	}
-	buf := make([]byte, n)
+	buf := getFrameBuf(int(n))
 	if _, err := io.ReadFull(r, buf); err != nil {
+		putFrameBuf(buf)
 		return nil, err
 	}
 	return buf, nil
@@ -414,7 +417,9 @@ func (p *ConnPool) fetchOnce(ctx context.Context, addr, name string, fresh bool)
 		// a frame boundary, so it can be reused.
 		stop()
 		p.put(addr, conn)
-		return nil, 0, fmt.Errorf("mr: shuffle fetch %s from %s: %s", name, addr, msg), false
+		ferr := fmt.Errorf("mr: shuffle fetch %s from %s: %s", name, addr, msg)
+		putFrameBuf(msg)
+		return nil, 0, ferr, false
 	}
 	size = int64(sizePlus - 1)
 	return &fetchReader{pool: p, addr: addr, conn: conn, ctx: ctx, stop: stop, remaining: size}, size, nil, false

@@ -42,18 +42,20 @@ func kindRank(kind string) int {
 		return 0
 	case KindMap:
 		return 1
-	case KindCombine:
+	case KindSpill:
 		return 2
-	case KindFetch:
+	case KindCombine:
 		return 3
-	case KindReduce:
+	case KindFetch:
 		return 4
-	case KindSharedSpill:
+	case KindReduce:
 		return 5
-	case KindSharedMerge:
+	case KindSharedSpill:
 		return 6
+	case KindSharedMerge:
+		return 7
 	}
-	return 7
+	return 8
 }
 
 func writeChromeTrace(w io.Writer, spans []Span) error {

@@ -35,6 +35,11 @@ const (
 	KindReduce = "reduce"
 	// KindCombine covers one combiner pass over a sorted run or merge.
 	KindCombine = "combine"
+	// KindSpill covers one map-side sort-and-spill: partition bucketing,
+	// the in-bucket key sort, and the per-partition run writes. Its
+	// "parallelism" attribute records the Job.SpillParallelism the spill
+	// ran under.
+	KindSpill = "spill"
 	// KindSharedSpill / KindSharedMerge cover anticombine.Shared writing
 	// a spill run and merging accumulated runs.
 	KindSharedSpill = "shared-spill"

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-all test-short test-cluster
+.PHONY: build test vet race verify bench bench-all test-short test-cluster test-chaos
 
 build:
 	$(GO) build ./...
@@ -37,3 +37,9 @@ test-short:
 # byte-identical output vs the in-process engine.
 test-cluster:
 	$(GO) test -race -timeout 600s ./internal/cluster/
+
+# Chaos soak: seeded deterministic fault injection over both engines.
+# A failure prints its seed; replay one with
+# `go test ./internal/chaos/ -run Soak -chaos-seed N`.
+test-chaos:
+	$(GO) test -race -timeout 600s ./internal/chaos/

@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -78,6 +79,11 @@ func main() {
 		clusterKill = flag.Bool("cluster-kill", false, "with -cluster: SIGKILL one worker mid-job to demonstrate failure recovery")
 		slots       = flag.Int("cluster-slots", 2, "with -cluster: task slots per worker process")
 
+		chaosSeed    = flag.Uint64("chaos-seed", 0, "replay one seeded chaos soak instead of -exp (prints the fault schedule)")
+		chaosSeeds   = flag.Int("chaos-seeds", 0, "run N consecutive seeded chaos soaks instead of -exp (seeds 1..N in-process, 101..100+N cluster)")
+		chaosProfile = flag.String("chaos-profile", "mixed", "chaos fault profile: mixed, disk, net, crash")
+		chaosEngine  = flag.String("chaos-engine", "both", "chaos soak engine: inprocess, cluster, both")
+
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file covering every job run")
 		metrics  = flag.String("metrics", "", "write live metrics snapshots (JSONL) to this file ('-' for stderr)")
 		interval = flag.Duration("metrics-interval", 500*time.Millisecond, "live metrics snapshot interval")
@@ -125,6 +131,14 @@ func main() {
 		rep := obs.NewReporter(w, cfg.Metrics, *interval)
 		defer closeFn()
 		defer rep.Stop()
+	}
+
+	if *chaosSeed != 0 || *chaosSeeds > 0 {
+		if err := runChaos(*chaosSeed, *chaosSeeds, *chaosProfile, *chaosEngine, cfg.Tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "antibench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *clusterN > 0 {
@@ -188,6 +202,54 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runChaos drives the seeded chaos soaks from the command line: one
+// seed (replay mode) or a consecutive matrix, against the in-process
+// engine, the cluster runtime, or both. Every run prints its injected
+// fault schedule; a failing run exits nonzero with the exact replay
+// command, so any failure seen in the wild is reproducible by seed.
+func runChaos(seed uint64, n int, profile, engine string, tracer *obs.Tracer) error {
+	prof, err := chaos.ProfileByName(profile)
+	if err != nil {
+		return err
+	}
+	type soakEngine struct {
+		name string
+		base uint64 // matrix start seed, mirroring the go test soak
+		run  func(uint64, chaos.Profile, *obs.Tracer) (*chaos.SoakReport, error)
+	}
+	var engines []soakEngine
+	if engine == "inprocess" || engine == "both" {
+		engines = append(engines, soakEngine{"inprocess", 1, chaos.SoakInProcess})
+	}
+	if engine == "cluster" || engine == "both" {
+		engines = append(engines, soakEngine{"cluster", 101, chaos.SoakCluster})
+	}
+	if len(engines) == 0 {
+		return fmt.Errorf("unknown engine %q (have inprocess, cluster, both)", engine)
+	}
+	for _, e := range engines {
+		seeds := []uint64{seed}
+		if seed == 0 {
+			seeds = seeds[:0]
+			for i := 0; i < n; i++ {
+				seeds = append(seeds, e.base+uint64(i))
+			}
+		}
+		for _, sd := range seeds {
+			start := time.Now()
+			rep, err := e.run(sd, prof, tracer)
+			if err != nil {
+				return fmt.Errorf("%v\nreplay: antibench -chaos-seed %d -chaos-profile %s -chaos-engine %s",
+					err, sd, profile, e.name)
+			}
+			fmt.Printf("chaos %-9s seed=%-4d profile=%s faults=%d attempts=%d [%v]\n",
+				e.name, rep.Seed, rep.Profile, rep.Faults, rep.Attempts,
+				time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
 }
 
 // writeTrace exports the collected spans as Chrome trace-event JSON

@@ -1,0 +1,176 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/iokit"
+	"repro/internal/obs"
+)
+
+// TestScheduleDeterministic pins the replay property: two schedules
+// with the same seed and profile, driven through the same operation
+// sequence, inject exactly the same faults.
+func TestScheduleDeterministic(t *testing.T) {
+	drive := func(s *Schedule) []Event {
+		for i := 0; i < 500; i++ {
+			s.decide("fs", "readFail", 0.01)
+			s.decide("fs", "writeFail", 0.01)
+			s.decide("net", "bitFlip", 0.05)
+		}
+		for i := 0; i < 4; i++ {
+			s.PlanWorker(i)
+		}
+		return s.Events()
+	}
+	a, b := drive(New(42, Mixed())), drive(New(42, Mixed()))
+	if len(a) == 0 {
+		t.Fatal("seed 42 injected no faults; oracle is dead")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("replay diverged: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different seed must yield a different schedule (overwhelmingly).
+	c := drive(New(43, Mixed()))
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+// TestScheduleBudget pins the fault cap: with certainty-probability
+// faults, exactly MaxFaults inject and every later decision is "no".
+func TestScheduleBudget(t *testing.T) {
+	s := New(7, Profile{Name: "budget", ReadFail: 1.0, MaxFaults: 3})
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if s.decide("fs", "readFail", 1.0) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("%d faults fired, budget is 3", fired)
+	}
+	if got := s.InjectedFaults(); got != 3 {
+		t.Fatalf("InjectedFaults() = %d, want 3", got)
+	}
+}
+
+// TestScheduleTracesFaults checks every injected fault lands in the
+// trace as a chaos-kind span.
+func TestScheduleTracesFaults(t *testing.T) {
+	tracer := obs.NewTracer()
+	s := New(7, Profile{Name: "t", WriteFail: 1.0, MaxFaults: 2})
+	s.SetTracer(tracer)
+	for i := 0; i < 10; i++ {
+		s.decide("fs", "writeFail", 1.0)
+	}
+	n := 0
+	for _, sp := range tracer.Spans() {
+		if sp.Kind == obs.KindChaos {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("%d chaos spans recorded, want 2", n)
+	}
+}
+
+// TestWrapFSInjectsTypedFaults drives reads and writes through a
+// hostile profile: injected failures must wrap iokit.ErrInjected (the
+// engine's transient class), and with a zero profile the wrapper must
+// be transparent.
+func TestWrapFSInjectsTypedFaults(t *testing.T) {
+	s := New(3, Profile{Name: "fs", WriteFail: 1.0, MaxFaults: 1})
+	fs := s.WrapFS(iokit.NewMemFS())
+	w, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("boom")); !errors.Is(err, iokit.ErrInjected) {
+		t.Fatalf("injected write fault is not ErrInjected: %v", err)
+	}
+	// Budget spent: the same writer now succeeds.
+	if _, err := w.Write([]byte("data")); err != nil {
+		t.Fatalf("post-budget write failed: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Transparent pass-through under a zero profile.
+	quiet := New(3, Profile{Name: "quiet"}).WrapFS(iokit.NewMemFS())
+	w, err = quiet.Create("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(strings.Repeat("pass through ", 50))
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := quiet.Open("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("zero-profile round trip broken: err=%v, %d bytes", err, len(got))
+	}
+	r.Close()
+}
+
+// TestWrapFSTornWrite checks a torn write persists a strict prefix and
+// reports an injected error — the shape checksummed readers must catch.
+func TestWrapFSTornWrite(t *testing.T) {
+	s := New(11, Profile{Name: "torn", TornWrite: 1.0, MaxFaults: 1})
+	mem := iokit.NewMemFS()
+	fs := s.WrapFS(mem)
+	w, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 1000)
+	if _, err := w.Write(payload); !errors.Is(err, iokit.ErrInjected) {
+		t.Fatalf("torn write error: %v", err)
+	}
+	w.Close()
+	size, err := mem.Size("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size <= 0 || size >= int64(len(payload)) {
+		t.Fatalf("torn write persisted %d bytes of %d; want a strict prefix", size, len(payload))
+	}
+}
+
+// TestProfileByName resolves every preset and rejects junk.
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"mixed", "disk", "net", "crash"} {
+		p, err := ProfileByName(name)
+		if err != nil || p.Name != name {
+			t.Fatalf("ProfileByName(%q) = %+v, %v", name, p, err)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

@@ -107,8 +107,10 @@ type workerState struct {
 	unreachable int         // fetch-failure reports against this worker
 
 	// Last-observed cumulative gauges from this worker's reports.
-	lastDials  int64
-	lastServed int64
+	lastDials      int64
+	lastServed     int64
+	lastRPCRetries int64
+	lastIntegrity  int64
 
 	span *obs.SpanRef
 }
@@ -676,13 +678,27 @@ func (c *Coordinator) assemble(report *sched.Report, start time.Time) *mr.Result
 		meas.Extent = e.Sub(s)
 	}
 	c.mu.Lock()
+	var rpcRetries, integrity int64
 	for _, w := range c.workers {
 		meas.Dials += w.lastDials
 		// Serve-side reads happen on the producing worker's disk, outside
 		// any attempt's metered view; fold the cumulative gauge in.
 		stats.DiskReadBytes += w.lastServed
+		rpcRetries += w.lastRPCRetries
+		integrity += w.lastIntegrity
 	}
 	c.mu.Unlock()
+	if rpcRetries > 0 || integrity > 0 {
+		if stats.Extra == nil {
+			stats.Extra = make(map[string]int64, 2)
+		}
+		if rpcRetries > 0 {
+			stats.Extra[CounterRPCRetries] += rpcRetries
+		}
+		if integrity > 0 {
+			stats.Extra[mr.CounterFetchIntegrity] += integrity
+		}
+	}
 	stats.WallTime = time.Since(start)
 	res.Stats = stats
 	res.MeasuredShuffle = meas
@@ -785,6 +801,8 @@ func (r *clusterRPC) Report(args *ReportArgs, reply *ReportReply) error {
 	w.outstanding--
 	w.lastDials = args.PoolDials
 	w.lastServed = args.ServedBytes
+	w.lastRPCRetries = args.RPCRetries
+	w.lastIntegrity = args.IntegrityFaults
 	c.mu.Unlock()
 	pend.ch <- args
 	return nil

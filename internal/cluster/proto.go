@@ -134,10 +134,16 @@ type ReportArgs struct {
 	DurNs int64
 
 	// Cumulative per-worker gauges, reported on every report so the
-	// coordinator's last observation is current: connection-pool dials
-	// and serve-side disk bytes read by the segment server.
-	PoolDials   int64
-	ServedBytes int64
+	// coordinator's last observation is current: connection-pool dials,
+	// serve-side disk bytes read by the segment server, control-plane
+	// RPC retries spent by this worker, and fetches that failed checksum
+	// verification. The last two ride as gauges, not attempt stats,
+	// because the attempts that produce them fail — and failed attempts'
+	// stats are (rightly) discarded.
+	PoolDials       int64
+	ServedBytes     int64
+	RPCRetries      int64
+	IntegrityFaults int64
 }
 
 type ReportReply struct{}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+// CounterRPCRetries is the extra stats counter summing control-plane RPC
+// retries across all workers: calls that timed out or hit a broken
+// connection and were re-dialed. A nonzero value under chaos shows the
+// deadline/backoff path ran; a large value in a clean run flags a sick
+// control plane.
+const CounterRPCRetries = "cluster.rpcRetries"
+
+const (
+	defaultRPCTimeout  = 2 * time.Second
+	defaultRPCAttempts = 3
+	defaultRPCBackoff  = 5 * time.Millisecond
+)
+
+// rpcClient wraps net/rpc's client with per-call deadlines, bounded
+// retries, and jittered backoff. net/rpc calls block for as long as the
+// connection lives — against a wedged (accepted-but-unresponsive)
+// coordinator that is forever — so every call races a timer; on timeout
+// or transport failure the connection is torn down and the next attempt
+// re-dials. An rpc.ServerError is authoritative (the server received
+// the call and answered) and is never retried, so non-idempotent
+// handlers see at most one delivered application error.
+type rpcClient struct {
+	addr     string
+	timeout  time.Duration
+	attempts int
+	backoff  time.Duration
+
+	mu      sync.Mutex
+	c       *rpc.Client
+	retries int64
+	closed  bool
+}
+
+func newRPCClient(addr string, timeout time.Duration) *rpcClient {
+	if timeout <= 0 {
+		timeout = defaultRPCTimeout
+	}
+	return &rpcClient{
+		addr:     addr,
+		timeout:  timeout,
+		attempts: defaultRPCAttempts,
+		backoff:  defaultRPCBackoff,
+	}
+}
+
+// conn returns the live connection, dialing (with the call deadline) if
+// none exists.
+func (r *rpcClient) conn() (*rpc.Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, rpc.ErrShutdown
+	}
+	if r.c != nil {
+		return r.c, nil
+	}
+	nc, err := net.DialTimeout("tcp", r.addr, r.timeout)
+	if err != nil {
+		return nil, err
+	}
+	r.c = rpc.NewClient(nc)
+	return r.c, nil
+}
+
+// drop discards a connection observed broken, so the next call
+// re-dials. Only the observed client is dropped: a concurrent call may
+// already have replaced it.
+func (r *rpcClient) drop(c *rpc.Client) {
+	r.mu.Lock()
+	if r.c == c {
+		r.c = nil
+	}
+	r.mu.Unlock()
+	c.Close()
+}
+
+// Call invokes method with a deadline per attempt and jittered backoff
+// between attempts. It returns ctx's error on cancellation, the
+// server's error verbatim when one arrives, and the last transport
+// error once attempts are exhausted.
+func (r *rpcClient) Call(ctx context.Context, method string, args, reply any) error {
+	if err := ctx.Err(); err != nil {
+		return err // already cancelled: never race a ready Done channel
+	}
+	var lastErr error
+	for attempt := 1; attempt <= r.attempts; attempt++ {
+		if attempt > 1 {
+			r.mu.Lock()
+			r.retries++
+			r.mu.Unlock()
+			// Exponential backoff with full jitter: sleep in
+			// [base, 2*base) where base doubles per retry.
+			d := r.backoff << (attempt - 2)
+			d += rand.N(d)
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		c, err := r.conn()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		call := c.Go(method, args, reply, make(chan *rpc.Call, 1))
+		timer := time.NewTimer(r.timeout)
+		select {
+		case <-call.Done:
+			timer.Stop()
+			if call.Error == nil {
+				return nil
+			}
+			var se rpc.ServerError
+			if errors.As(call.Error, &se) {
+				return call.Error // the server answered; don't retry
+			}
+			r.drop(c) // transport-level failure: connection is suspect
+			lastErr = call.Error
+		case <-timer.C:
+			r.drop(c) // unblocks the pending call with ErrShutdown
+			lastErr = fmt.Errorf("cluster: %s to %s timed out after %v", method, r.addr, r.timeout)
+		case <-ctx.Done():
+			timer.Stop()
+			r.drop(c)
+			return ctx.Err()
+		}
+	}
+	return fmt.Errorf("cluster: %s to %s failed after %d attempts: %w",
+		method, r.addr, r.attempts, lastErr)
+}
+
+// Retries reports how many call attempts were retried so far.
+func (r *rpcClient) Retries() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retries
+}
+
+// Close tears down the connection; subsequent calls fail.
+func (r *rpcClient) Close() error {
+	r.mu.Lock()
+	c := r.c
+	r.c = nil
+	r.closed = true
+	r.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRPCClientWedgedServer pins the control-plane deadline behavior: a
+// server that accepts connections but never answers must not block a
+// call forever. The client must time out each attempt, retry with
+// backoff on a fresh connection, count the retries, and fail within a
+// small multiple of the per-call timeout.
+func TestRPCClientWedgedServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold open, never respond
+		}
+	}()
+
+	c := newRPCClient(ln.Addr().String(), 30*time.Millisecond)
+	defer c.Close()
+	start := time.Now()
+	var reply HeartbeatReply
+	err = c.Call(context.Background(), "Cluster.Heartbeat", &HeartbeatArgs{}, &reply)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call against wedged server succeeded")
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("error does not report timeout: %v", err)
+	}
+	// 3 attempts x 30ms plus backoff; anything near a second means a
+	// deadline was missed.
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("wedged call took %v, deadlines not enforced", elapsed)
+	}
+	if got := c.Retries(); got != int64(defaultRPCAttempts-1) {
+		t.Fatalf("Retries() = %d, want %d", got, defaultRPCAttempts-1)
+	}
+}
+
+// TestRPCClientCancel pins cancellation: a blocked call returns
+// promptly with the context's error.
+func TestRPCClientCancel(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		time.Sleep(time.Hour)
+	}()
+
+	c := newRPCClient(ln.Addr().String(), time.Hour)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	var reply HeartbeatReply
+	start := time.Now()
+	err = c.Call(ctx, "Cluster.Heartbeat", &HeartbeatArgs{}, &reply)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("cancelled call took %v", elapsed)
+	}
+}

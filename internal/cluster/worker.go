@@ -2,11 +2,13 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
-	"net/rpc"
+	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/iokit"
@@ -25,6 +27,15 @@ type WorkerOptions struct {
 	FS iokit.FS
 	// DataAddr is the segment-server bind address (default loopback).
 	DataAddr string
+	// WrapListener, when non-nil, wraps the segment server's data-plane
+	// listener — the chaos harness's injection point for connection
+	// drops, stalls, truncations, and bit-flips.
+	WrapListener func(net.Listener) net.Listener
+	// RPCTimeout bounds each control-plane call to the coordinator
+	// (default 2s). Calls that exceed it are retried with jittered
+	// backoff on a fresh connection, so a wedged coordinator cannot
+	// block a worker forever.
+	RPCTimeout time.Duration
 }
 
 // RunWorker joins the cluster at opts.Coordinator and serves task
@@ -46,23 +57,24 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 		dataAddr = "127.0.0.1:0"
 	}
 
-	client, err := rpc.Dial("tcp", opts.Coordinator)
-	if err != nil {
-		return fmt.Errorf("cluster: dialing coordinator: %w", err)
-	}
+	client := newRPCClient(opts.Coordinator, opts.RPCTimeout)
 	defer client.Close()
 
 	serveMeter := &iokit.Meter{}
-	srv, err := mr.NewSegmentServer(fs, dataAddr, serveMeter)
+	ln, err := net.Listen("tcp", dataAddr)
 	if err != nil {
 		return fmt.Errorf("cluster: starting segment server: %w", err)
 	}
+	if opts.WrapListener != nil {
+		ln = opts.WrapListener(ln)
+	}
+	srv := mr.NewSegmentServerOn(fs, ln, serveMeter)
 	defer srv.Close()
 	pool := mr.NewConnPool()
 	defer pool.Close()
 
 	var reg RegisterReply
-	if err := client.Call("Cluster.Register", &RegisterArgs{DataAddr: srv.Addr(), Slots: opts.Slots}, &reg); err != nil {
+	if err := client.Call(ctx, "Cluster.Register", &RegisterArgs{DataAddr: srv.Addr(), Slots: opts.Slots}, &reg); err != nil {
 		return fmt.Errorf("cluster: registering: %w", err)
 	}
 	job, splits, err := BuildJob(reg.Job)
@@ -80,6 +92,7 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 	w := &worker{
 		id: reg.WorkerID, job: job, splits: splits,
 		fs: fs, pool: pool, srv: srv, serveMeter: serveMeter,
+		client:  client,
 		running: make(map[AttemptID]context.CancelFunc),
 	}
 
@@ -97,8 +110,8 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 				return
 			}
 			var hb HeartbeatReply
-			if err := client.Call("Cluster.Heartbeat", &HeartbeatArgs{WorkerID: w.id}, &hb); err != nil {
-				cancel() // coordinator gone
+			if err := client.Call(ctx, "Cluster.Heartbeat", &HeartbeatArgs{WorkerID: w.id}, &hb); err != nil {
+				cancel() // coordinator gone (deadline + retries exhausted)
 				return
 			}
 			if hb.Shutdown {
@@ -118,7 +131,7 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 			defer wg.Done()
 			for ctx.Err() == nil {
 				var lr LeaseReply
-				if err := client.Call("Cluster.Lease", &LeaseArgs{WorkerID: w.id}, &lr); err != nil {
+				if err := client.Call(ctx, "Cluster.Lease", &LeaseArgs{WorkerID: w.id}, &lr); err != nil {
 					cancel()
 					return
 				}
@@ -130,8 +143,15 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 					continue
 				}
 				rep := w.runLease(ctx, lr.Lease)
-				var rr ReportReply
-				if err := client.Call("Cluster.Report", rep, &rr); err != nil {
+				if ctx.Err() != nil {
+					// A crashed or shut-down worker never reports: the attempt
+					// died with the process, and the coordinator must discover
+					// that through missed heartbeats, not a parting message
+					// a real crash could not have sent.
+					cancel()
+					return
+				}
+				if err := w.report(ctx, rep); err != nil {
 					cancel()
 					return
 				}
@@ -150,9 +170,22 @@ type worker struct {
 	pool       *mr.ConnPool
 	srv        *mr.SegmentServer
 	serveMeter *iokit.Meter
+	client     *rpcClient
+	integrity  atomic.Int64 // fetches failed by checksum, across attempts
 
 	mu      sync.Mutex
 	running map[AttemptID]context.CancelFunc
+}
+
+// report delivers an attempt report, stamping the worker's cumulative
+// gauges last so the coordinator's view is current: RPC retries spent
+// (including on this report's predecessors) and checksum-failed
+// fetches, which live on failed attempts whose stats are discarded.
+func (w *worker) report(ctx context.Context, rep *ReportArgs) error {
+	rep.RPCRetries = w.client.Retries()
+	rep.IntegrityFaults = w.integrity.Load()
+	var rr ReportReply
+	return w.client.Call(ctx, "Cluster.Report", rep, &rr)
 }
 
 func (w *worker) cancelAttempt(aid AttemptID) {
@@ -239,13 +272,28 @@ func (w *worker) runLease(ctx context.Context, l TaskLease) *ReportArgs {
 
 // runFetch pulls the lease's source segments from peer segment servers
 // into worker-local files — the cluster analogue of the pipelined
-// scheduler's fetch tasks, with real sockets underneath.
+// scheduler's fetch tasks, with real sockets underneath. Unless the job
+// disables checksums, every fetched byte passes through the CRC32C
+// verifier before landing on disk, so a corrupted transfer is a fetch
+// failure (feeding the coordinator's unreachable blacklist), never a
+// poisoned reduce input. A failed attempt removes every file it wrote,
+// so retries cannot leak partial segments.
 func (w *worker) runFetch(ctx context.Context, l TaskLease, rep *ReportArgs, counters *mr.Counters) error {
 	var transferTime time.Duration
+	var local []string
+	cleanup := func(current string) {
+		if current != "" {
+			w.fs.Remove(current)
+		}
+		for _, name := range local {
+			w.fs.Remove(name)
+		}
+	}
 	for i, src := range l.Sources {
 		fst := time.Now()
 		rc, size, err := w.pool.Fetch(ctx, src.Addr, src.File)
 		if err != nil {
+			cleanup("")
 			rep.Unreachable = appendUnique(rep.Unreachable, src.Addr)
 			return fmt.Errorf("cluster: fetching %s from %s: %w", src.File, src.Addr, err)
 		}
@@ -253,21 +301,32 @@ func (w *worker) runFetch(ctx context.Context, l TaskLease, rep *ReportArgs, cou
 		f, err := w.fs.Create(name)
 		if err != nil {
 			rc.Close()
+			cleanup("")
 			return err
 		}
-		n, err := io.Copy(f, rc)
+		var from io.Reader = rc
+		if !w.job.DisableChecksums {
+			from = mr.NewIntegrityVerifier(rc)
+		}
+		n, err := io.Copy(f, from)
 		rc.Close()
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
+			if errors.Is(err, mr.ErrIntegrity) {
+				w.integrity.Add(1)
+			}
+			cleanup(name)
 			rep.Unreachable = appendUnique(rep.Unreachable, src.Addr)
 			return fmt.Errorf("cluster: copying %s from %s: %w", src.File, src.Addr, err)
 		}
 		if n != size {
+			cleanup(name)
 			rep.Unreachable = appendUnique(rep.Unreachable, src.Addr)
 			return fmt.Errorf("cluster: fetched %d bytes of %s from %s, want %d", n, src.File, src.Addr, size)
 		}
+		local = append(local, name)
 		transferTime += time.Since(fst)
 		counters.AddShuffle(n, src.Records)
 		rep.FlowBytes += n

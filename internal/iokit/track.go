@@ -1,0 +1,70 @@
+package iokit
+
+import (
+	"io"
+	"sync/atomic"
+)
+
+// TrackFS wraps an FS and counts open handles, so fault-injection and
+// chaos tests can assert that every code path — including error paths —
+// closes every file it opened. Wrap it outermost (above any fault
+// injector), so it counts exactly the handles the engine sees.
+type TrackFS struct {
+	// Inner is the real filesystem.
+	Inner FS
+
+	open atomic.Int64
+}
+
+// OpenHandles reports the number of currently open handles.
+func (t *TrackFS) OpenHandles() int64 { return t.open.Load() }
+
+// Create implements FS.
+func (t *TrackFS) Create(name string) (io.WriteCloser, error) {
+	w, err := t.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	t.open.Add(1)
+	return &trackedHandle{fs: t, c: w, w: w}, nil
+}
+
+// Open implements FS.
+func (t *TrackFS) Open(name string) (io.ReadCloser, error) {
+	r, err := t.Inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	t.open.Add(1)
+	return &trackedHandle{fs: t, c: r, r: r}, nil
+}
+
+// Remove implements FS.
+func (t *TrackFS) Remove(name string) error { return t.Inner.Remove(name) }
+
+// Size implements FS.
+func (t *TrackFS) Size(name string) (int64, error) { return t.Inner.Size(name) }
+
+// List implements FS.
+func (t *TrackFS) List() ([]string, error) { return t.Inner.List() }
+
+// trackedHandle decrements the open count on first Close only, so
+// idempotent double closes do not drive the count negative.
+type trackedHandle struct {
+	fs     *TrackFS
+	c      io.Closer
+	w      io.Writer
+	r      io.Reader
+	closed bool
+}
+
+func (h *trackedHandle) Write(p []byte) (int, error) { return h.w.Write(p) }
+func (h *trackedHandle) Read(p []byte) (int, error)  { return h.r.Read(p) }
+
+func (h *trackedHandle) Close() error {
+	if !h.closed {
+		h.closed = true
+		h.fs.open.Add(-1)
+	}
+	return h.c.Close()
+}

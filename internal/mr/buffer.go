@@ -248,19 +248,76 @@ func (b *mapBuffer) sortByPartitionKey() []int {
 	return offs
 }
 
+// segmentSink is the write side of one segment file: file → optional
+// CRC32C framing (the outermost on-disk layer) → codec → framed-record
+// writer. It centralizes the layering and the close chain so spill runs
+// and merge outputs cannot drift apart.
+type segmentSink struct {
+	f  io.WriteCloser
+	ck *checksumWriter // nil when the job disables checksums
+	cw io.WriteCloser  // codec writer
+	w  *bytesx.Writer
+}
+
+// newSegmentSink creates name on fs and stacks the segment write layers
+// over it. On error nothing is left open and the partial file is
+// removed.
+func newSegmentSink(job *Job, fs iokit.FS, name string) (*segmentSink, error) {
+	f, err := fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		ck   *checksumWriter
+		base io.Writer = f
+	)
+	if !job.DisableChecksums {
+		ck = newChecksumWriter(job, f)
+		base = ck
+	}
+	cw, err := job.Codec.NewWriter(base)
+	if err != nil {
+		if ck != nil {
+			ck.release()
+		}
+		f.Close()
+		removeQuiet(fs, name)
+		return nil, err
+	}
+	return &segmentSink{f: f, ck: ck, cw: cw, w: getRecordWriter(job, cw)}, nil
+}
+
+// close flushes and closes every layer in order (err carries the
+// caller's write error, if any, so close errors never mask it) and
+// reports the framed record count and pre-codec bytes.
+func (s *segmentSink) close(job *Job, err error) (records, rawBytes int64, _ error) {
+	if err == nil {
+		err = s.w.Flush()
+	}
+	records, rawBytes = s.w.Records(), s.w.Bytes()
+	putRecordWriter(job, s.w)
+	if cerr := s.cw.Close(); err == nil {
+		err = cerr
+	}
+	if s.ck != nil {
+		if cerr := s.ck.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return records, rawBytes, err
+}
+
 // writeRun writes one sorted partition run, applying the combiner when
 // configured. On error the partial run file is removed.
 func (b *mapBuffer) writeRun(name string, partition int, entries []bufEntry) (segment, error) {
-	f, err := b.fs.Create(name)
+	sink, err := newSegmentSink(b.job, b.fs, name)
 	if err != nil {
 		return segment{}, err
 	}
-	cw, err := b.job.Codec.NewWriter(f)
-	if err != nil {
-		f.Close()
-		return segment{}, err
-	}
-	w := getRecordWriter(b.job, cw)
+	w := sink.w
 
 	if b.job.NewCombiner != nil {
 		span := b.job.Tracer.Start(obs.KindCombine, name, obs.Int("records_in", int64(len(entries))))
@@ -277,17 +334,7 @@ func (b *mapBuffer) writeRun(name string, partition int, entries []bufEntry) (se
 			}
 		}
 	}
-	if err == nil {
-		err = w.Flush()
-	}
-	records, rawBytes := w.Records(), w.Bytes()
-	putRecordWriter(b.job, w)
-	if cerr := cw.Close(); err == nil {
-		err = cerr
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
+	records, rawBytes, err := sink.close(b.job, err)
 	if err != nil {
 		removeQuiet(b.fs, name)
 		return segment{}, err
@@ -392,20 +439,36 @@ func (b *mapBuffer) finish() ([]segment, error) {
 	return out, nil
 }
 
-// openSegment opens a segment file for sorted streaming.
+// openSegment opens a segment file for sorted streaming, verifying the
+// CRC32C framing as it reads unless the job disabled checksums — every
+// local merge read re-checks integrity, not just the shuffle fetch.
 func openSegment(job *Job, fs iokit.FS, seg segment) (recordStream, error) {
 	f, err := fs.Open(seg.file)
 	if err != nil {
 		return nil, err
 	}
-	cr, err := job.Codec.NewReader(f)
+	var (
+		ck   *checksumReader
+		base io.Reader = f
+	)
+	if !job.DisableChecksums {
+		ck = newChecksumReader(job, f)
+		base = ck
+	}
+	cr, err := job.Codec.NewReader(base)
 	if err != nil {
+		if ck != nil {
+			ck.release()
+		}
 		f.Close()
 		return nil, err
 	}
 	rd := getRecordReader(job, cr)
 	return &readerStream{r: rd, close: func() error {
 		putRecordReader(job, rd)
+		if ck != nil {
+			ck.release()
+		}
 		if err := cr.Close(); err != nil {
 			f.Close()
 			return err
@@ -503,16 +566,11 @@ func mergeOnce(job *Job, fs iokit.FS, counters *Counters, name string, partition
 		return segment{}, err
 	}
 
-	f, err := fs.Create(name)
+	sink, err := newSegmentSink(job, fs, name)
 	if err != nil {
 		return segment{}, err
 	}
-	cw, err := job.Codec.NewWriter(f)
-	if err != nil {
-		f.Close()
-		return segment{}, err
-	}
-	w := getRecordWriter(job, cw)
+	w := sink.w
 
 	if useCombiner {
 		span := job.Tracer.Start(obs.KindCombine, name)
@@ -537,17 +595,7 @@ func mergeOnce(job *Job, fs iokit.FS, counters *Counters, name string, partition
 			}
 		}
 	}
-	if err == nil {
-		err = w.Flush()
-	}
-	records, rawBytes := w.Records(), w.Bytes()
-	putRecordWriter(job, w)
-	if cerr := cw.Close(); err == nil {
-		err = cerr
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
+	records, rawBytes, err := sink.close(job, err)
 	if err != nil {
 		return segment{}, err
 	}

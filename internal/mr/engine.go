@@ -129,7 +129,7 @@ func Run(job *Job, splits []Split) (*Result, error) {
 
 	var transport Transport = LocalTransport{}
 	if j.TCPShuffle {
-		tcp, err := NewTCPTransport(fs)
+		tcp, err := newTCPTransport(fs, j.WrapShuffleListener)
 		if err != nil {
 			return nil, fmt.Errorf("mr: starting shuffle transport: %w", err)
 		}

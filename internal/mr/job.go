@@ -3,6 +3,7 @@ package mr
 import (
 	"errors"
 	"fmt"
+	"net"
 	"runtime"
 	"time"
 
@@ -69,6 +70,17 @@ type Job struct {
 	// to reducer-local files before merging, like Hadoop's fetch phase)
 	// instead of direct filesystem reads.
 	TCPShuffle bool
+	// WrapShuffleListener, when non-nil and TCPShuffle is set, wraps the
+	// shuffle server's listener before it starts accepting — the hook
+	// the chaos harness uses to inject data-plane faults (connection
+	// drops, stalls, truncations, bit-flips) into the in-process engine.
+	WrapShuffleListener func(net.Listener) net.Listener
+	// DisableChecksums turns off the CRC32C segment framing that spill,
+	// merge, and map-output files carry by default (verified on local
+	// merge reads and on shuffle fetches). It exists as the A/B baseline
+	// preserving the historical byte-identical on-disk layout; logical
+	// output is identical either way.
+	DisableChecksums bool
 	// Scheduler selects the execution engine. SchedulerPipelined (the
 	// default) runs the job as an event-driven task graph: each reduce
 	// partition's segment fetches start as soon as the map tasks feeding

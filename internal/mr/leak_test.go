@@ -3,65 +3,11 @@ package mr
 import (
 	"errors"
 	"fmt"
-	"io"
 	"strings"
-	"sync/atomic"
 	"testing"
 
 	"repro/internal/iokit"
 )
-
-// trackFS wraps an FS and counts open handles, so fault-injection tests
-// can assert that error paths close every file they opened. It wraps
-// the outermost layer (above any fault injector), counting exactly the
-// handles the engine sees.
-type trackFS struct {
-	inner iokit.FS
-	open  atomic.Int64
-}
-
-func (t *trackFS) Create(name string) (io.WriteCloser, error) {
-	w, err := t.inner.Create(name)
-	if err != nil {
-		return nil, err
-	}
-	t.open.Add(1)
-	return &trackedHandle{fs: t, c: w, w: w}, nil
-}
-
-func (t *trackFS) Open(name string) (io.ReadCloser, error) {
-	r, err := t.inner.Open(name)
-	if err != nil {
-		return nil, err
-	}
-	t.open.Add(1)
-	return &trackedHandle{fs: t, c: r, r: r}, nil
-}
-
-func (t *trackFS) Remove(name string) error        { return t.inner.Remove(name) }
-func (t *trackFS) Size(name string) (int64, error) { return t.inner.Size(name) }
-func (t *trackFS) List() ([]string, error)         { return t.inner.List() }
-
-// trackedHandle decrements the open count on first Close only, so
-// idempotent double closes do not drive the count negative.
-type trackedHandle struct {
-	fs     *trackFS
-	c      io.Closer
-	w      io.Writer
-	r      io.Reader
-	closed bool
-}
-
-func (h *trackedHandle) Write(p []byte) (int, error) { return h.w.Write(p) }
-func (h *trackedHandle) Read(p []byte) (int, error)  { return h.r.Read(p) }
-
-func (h *trackedHandle) Close() error {
-	if !h.closed {
-		h.closed = true
-		h.fs.open.Add(-1)
-	}
-	return h.c.Close()
-}
 
 // TestMergeFaultCleanup drives a forced multi-pass merge into injected
 // read and write faults at every byte-level op offset, and asserts a
@@ -75,7 +21,7 @@ func TestMergeFaultCleanup(t *testing.T) {
 		for n := int64(1); ; n++ {
 			mem := iokit.NewMemFS()
 			flaky := &iokit.FlakyFS{Inner: mem}
-			tracked := &trackFS{inner: flaky}
+			tracked := &iokit.TrackFS{Inner: flaky}
 			job := wordCountJob(false)
 			job.MergeFactor = 2
 			j, err := job.normalized()
@@ -109,7 +55,7 @@ func TestMergeFaultCleanup(t *testing.T) {
 			if !errors.Is(err, iokit.ErrInjected) {
 				t.Fatalf("%s@%d: error does not wrap injection: %v", mode, n, err)
 			}
-			if open := tracked.open.Load(); open != 0 {
+			if open := tracked.OpenHandles(); open != 0 {
 				t.Fatalf("%s@%d: %d file handles left open after failed merge", mode, n, open)
 			}
 			files, lerr := mem.List()
@@ -151,7 +97,7 @@ func TestRunFaultHandleLeaks(t *testing.T) {
 			} else {
 				flaky.FailWriteAt = n
 			}
-			tracked := &trackFS{inner: flaky}
+			tracked := &iokit.TrackFS{Inner: flaky}
 			job := wordCountJob(true)
 			job.FS = tracked
 			job.SortBufferBytes = 2 << 10
@@ -161,7 +107,7 @@ func TestRunFaultHandleLeaks(t *testing.T) {
 			if err != nil && !errors.Is(err, iokit.ErrInjected) {
 				t.Fatalf("%s@%d: error does not wrap injection: %v", mode, n, err)
 			}
-			if open := tracked.open.Load(); open != 0 {
+			if open := tracked.OpenHandles(); open != 0 {
 				t.Fatalf("%s@%d: %d file handles open after Run (err=%v)", mode, n, open, err)
 			}
 		}

@@ -96,7 +96,7 @@ func runPipelined(ctx context.Context, env *runEnv) (*Result, error) {
 					atomic.AddInt64(&shufflePer[p], flow)
 					if !localTransport {
 						prefix := fmt.Sprintf("%s/r%04d/m%04d.a%d.fetch", j.Name, p, i, tc.Attempt)
-						fetched, err := fetchSegments(ctx, env.fs, env.transport, j, p, prefix, segs)
+						fetched, err := fetchSegments(ctx, env.fs, env.transport, j, env.counters, p, prefix, segs)
 						if err != nil {
 							return nil, err
 						}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"time"
 
 	"repro/internal/bytesx"
@@ -34,6 +35,13 @@ func isTransientErr(err error) bool {
 	if errors.Is(err, iokit.ErrInjected) || errors.Is(err, errShortFetch) {
 		return true
 	}
+	// Integrity violations (checksum mismatch, truncation) mean the
+	// bytes are bad, not the computation: a retry re-fetches or re-reads
+	// and — on the cluster — feeds the source-blacklist/DepLostError
+	// re-execution path.
+	if errors.Is(err, ErrIntegrity) {
+		return true
+	}
 	var nerr net.Error
 	if errors.As(err, &nerr) {
 		return true
@@ -57,12 +65,21 @@ func mapTaskDir(job *Job, taskID, attempt int) string {
 // per-partition segments. The task's single-threaded wall time is
 // charged as map CPU. ctx cancellation is observed between input
 // records so cancelled attempts stop promptly.
-func runMapTask(ctx context.Context, job *Job, fs iokit.FS, counters *Counters, taskID, attempt int, split Split) ([]segment, error) {
+func runMapTask(ctx context.Context, job *Job, fs iokit.FS, counters *Counters, taskID, attempt int, split Split) (segs []segment, err error) {
 	start := time.Now()
 	defer func() { counters.mapTaskNs.Add(time.Since(start).Nanoseconds()) }()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("mr: map task %d: %w", taskID, err)
 	}
+	// A failed (or cancelled) attempt deletes its attempt-scoped output
+	// directory: spill files from before the fault would otherwise
+	// orphan, and the attempt dir is private to this attempt so nothing
+	// else can be reading it.
+	defer func() {
+		if err != nil {
+			removePrefix(fs, mapTaskDir(job, taskID, attempt)+"/")
+		}
+	}()
 
 	buf := newMapBuffer(job, fs, counters, taskID, attempt)
 	mapper := job.NewMapper()
@@ -92,7 +109,7 @@ func runMapTask(ctx context.Context, job *Job, fs iokit.FS, counters *Counters, 
 		return nil, fmt.Errorf("mr: map task %d setup: %w", taskID, err)
 	}
 	var seen int
-	err := split.Records(func(k, v []byte) error {
+	err = split.Records(func(k, v []byte) error {
 		if seen++; seen%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -107,11 +124,26 @@ func runMapTask(ctx context.Context, job *Job, fs iokit.FS, counters *Counters, 
 	if err := mapper.Cleanup(out); err != nil {
 		return nil, fmt.Errorf("mr: map task %d cleanup: %w", taskID, err)
 	}
-	segs, err := buf.finish()
+	segs, err = buf.finish()
 	if err != nil {
 		return nil, fmt.Errorf("mr: map task %d spill/merge: %w", taskID, err)
 	}
 	return segs, nil
+}
+
+// removePrefix best-effort deletes every file under a name prefix —
+// failed-attempt cleanup, where listing errors just mean the sweep is
+// skipped.
+func removePrefix(fs iokit.FS, prefix string) {
+	files, err := fs.List()
+	if err != nil {
+		return
+	}
+	for _, f := range files {
+		if strings.HasPrefix(f, prefix) {
+			removeQuiet(fs, f)
+		}
+	}
 }
 
 // accountShuffle meters a reduce partition's incoming segments: wire
@@ -145,7 +177,7 @@ func runReduceTask(ctx context.Context, job *Job, fs iokit.FS, counters *Counter
 	// file through the real network path (Hadoop's fetch phase).
 	if _, local := transport.(LocalTransport); !local {
 		prefix := fmt.Sprintf("%s/r%04d/fetch", job.Name, partition)
-		fetched, err := fetchSegments(ctx, fs, transport, job, partition, prefix, segs)
+		fetched, err := fetchSegments(ctx, fs, transport, job, counters, partition, prefix, segs)
 		if err != nil {
 			return nil, err
 		}
@@ -168,6 +200,15 @@ func reduceMerge(ctx context.Context, job *Job, fs iokit.FS, counters *Counters,
 	// streaming merge stays within the merge factor (Hadoop's
 	// reduce-side merge). When retries are enabled the merge keeps its
 	// inputs so a later attempt can redo the pass from intact files.
+	var mergedName string
+	defer func() {
+		// A reduce attempt that fails after its pre-merge succeeded must
+		// not orphan the merged file: the name is attempt-scoped, so a
+		// retry rebuilds it from the kept inputs.
+		if err != nil && mergedName != "" {
+			removeQuiet(fs, mergedName)
+		}
+	}()
 	if len(segs) > job.MergeFactor {
 		name := fmt.Sprintf("%s/r%04d/merged", job.Name, partition)
 		if attempt > 0 {
@@ -178,6 +219,7 @@ func reduceMerge(ctx context.Context, job *Job, fs iokit.FS, counters *Counters,
 		if err != nil {
 			return nil, err
 		}
+		mergedName = name
 		segs = []segment{merged}
 	}
 
@@ -260,12 +302,27 @@ func reduceMerge(ctx context.Context, job *Job, fs iokit.FS, counters *Counters,
 // fetchSegments copies remote segments to reducer-local files over the
 // transport, returning local replacements. Local file names are derived
 // from prefix, which callers scope per (partition, map task, attempt).
-func fetchSegments(ctx context.Context, fs iokit.FS, transport Transport, job *Job, partition int, prefix string, segs []segment) ([]segment, error) {
+// Unless the job disables checksums, the byte stream is CRC-verified in
+// flight (pass-through, so the local copy stays framed): a corrupted or
+// truncated transfer fails the fetch with ErrIntegrity — a transient,
+// retryable fault — instead of landing bad bytes for the merge to trip
+// on. A failed fetch removes every local file the attempt created, so
+// no partial attempt orphans files.
+func fetchSegments(ctx context.Context, fs iokit.FS, transport Transport, job *Job, counters *Counters, partition int, prefix string, segs []segment) ([]segment, error) {
 	local := make([]segment, len(segs))
 	copyBuf := getCopyBuf(job)
 	defer putCopyBuf(job, copyBuf)
+	cleanup := func(fetched int, current string) {
+		if current != "" {
+			removeQuiet(fs, current)
+		}
+		for k := 0; k < fetched; k++ {
+			removeQuiet(fs, local[k].file)
+		}
+	}
 	for i, s := range segs {
 		if err := ctx.Err(); err != nil {
+			cleanup(i, "")
 			return nil, fmt.Errorf("mr: reduce task %d fetch: %w", partition, err)
 		}
 		// The transport-level sub-span: one socket copy per segment,
@@ -275,6 +332,7 @@ func fetchSegments(ctx context.Context, fs iokit.FS, transport Transport, job *J
 		rc, size, err := transport.Fetch(ctx, fs, s.file)
 		if err != nil {
 			span.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
+			cleanup(i, "")
 			return nil, fmt.Errorf("mr: reduce task %d fetching %s: %w", partition, s.file, err)
 		}
 		name := fmt.Sprintf("%s%04d", prefix, i)
@@ -282,9 +340,14 @@ func fetchSegments(ctx context.Context, fs iokit.FS, transport Transport, job *J
 		if err != nil {
 			rc.Close()
 			span.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
+			cleanup(i, name)
 			return nil, err
 		}
-		n, err := io.CopyBuffer(f, rc, copyBuf)
+		var src io.Reader = rc
+		if !job.DisableChecksums {
+			src = NewIntegrityVerifier(rc)
+		}
+		n, err := io.CopyBuffer(f, src, copyBuf)
 		rc.Close()
 		if cerr := f.Close(); err == nil {
 			err = cerr
@@ -294,8 +357,11 @@ func fetchSegments(ctx context.Context, fs iokit.FS, transport Transport, job *J
 				partition, n, s.file, size, errShortFetch)
 		}
 		if err != nil {
-			removeQuiet(fs, name)
+			if errors.Is(err, ErrIntegrity) {
+				counters.AddExtra(CounterFetchIntegrity, 1)
+			}
 			span.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
+			cleanup(i, name)
 			return nil, fmt.Errorf("mr: reduce task %d copying %s: %w", partition, s.file, err)
 		}
 		span.End(obs.Int("bytes", n))

@@ -87,10 +87,17 @@ func NewSegmentServer(fs iokit.FS, addr string, meter *iokit.Meter) (*SegmentSer
 	if err != nil {
 		return nil, err
 	}
+	return NewSegmentServerOn(fs, ln, meter), nil
+}
+
+// NewSegmentServerOn serves fs on an already-bound listener — the hook
+// that lets cluster workers and the chaos harness interpose on the data
+// plane (e.g. a fault-injecting listener wrapper) before serving starts.
+func NewSegmentServerOn(fs iokit.FS, ln net.Listener, meter *iokit.Meter) *SegmentServer {
 	s := &SegmentServer{fs: fs, meter: meter, ln: ln, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.serve()
-	return s, nil
+	return s
 }
 
 // Addr reports the listener address, in a form peers can dial.
@@ -479,11 +486,21 @@ type TCPTransport struct {
 
 // NewTCPTransport starts a loopback listener serving fs.
 func NewTCPTransport(fs iokit.FS) (*TCPTransport, error) {
-	srv, err := NewSegmentServer(fs, "127.0.0.1:0", nil)
+	return newTCPTransport(fs, nil)
+}
+
+// newTCPTransport starts the loopback transport, optionally wrapping
+// the listener (Job.WrapShuffleListener — the chaos harness's
+// data-plane injection point).
+func newTCPTransport(fs iokit.FS, wrap func(net.Listener) net.Listener) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	return &TCPTransport{srv: srv, pool: NewConnPool()}, nil
+	if wrap != nil {
+		ln = wrap(ln)
+	}
+	return &TCPTransport{srv: NewSegmentServerOn(fs, ln, nil), pool: NewConnPool()}, nil
 }
 
 // Addr reports the listener address (tests and diagnostics).

@@ -53,6 +53,11 @@ const (
 	KindHeartbeat = "heartbeat"
 	KindLease     = "lease"
 	KindReexec    = "re-execute"
+	// KindChaos marks one injected fault from the chaos harness
+	// (internal/chaos): a zero-length span whose attributes identify the
+	// layer, operation, and fault kind, so a failing seed's schedule is
+	// reconstructable from the trace alone.
+	KindChaos = "chaos"
 )
 
 // Attr is one key-value annotation on a span.

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-all test-short test-cluster test-chaos
+.PHONY: build test vet race verify bench bench-all test-short test-cluster test-chaos smoke-service
 
 build:
 	$(GO) build ./...
@@ -43,3 +43,9 @@ test-cluster:
 # `go test ./internal/chaos/ -run Soak -chaos-seed N`.
 test-chaos:
 	$(GO) test -race -timeout 600s ./internal/chaos/
+
+# Service smoke: a real antserve daemon with two antwork workers,
+# driven by antctl over the HTTP API — one job per tenant, quota
+# enforcement, SIGTERM drain, clean shutdown.
+smoke-service:
+	./scripts/service_smoke.sh

@@ -1,0 +1,224 @@
+// Command antctl is the CLI for an antserve daemon: submit jobs, check
+// status, tail progress, fetch output, cancel, and manage workers —
+// all over the HTTP/JSON API.
+//
+// Usage:
+//
+//	antctl -server http://127.0.0.1:7070 submit -job exp/wordcount \
+//	    -spec '{"Scale":0.1,"Splits":8,"Reducers":4}' -tenant analytics -wait
+//	antctl status           # list all jobs
+//	antctl status -id 3     # one job, with progress
+//	antctl tail -id 3       # follow SSE progress until done
+//	antctl output -id 3     # print a finished job's output
+//	antctl cancel -id 3
+//	antctl workers
+//	antctl drain -worker 1
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `antctl: usage: antctl [-server URL] <command> [flags]
+commands: submit, status, tail, output, cancel, workers, drain, health`)
+	os.Exit(2)
+}
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:7070", "antserve base URL")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	c := serve.NewClient(*server)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = cmdSubmit(ctx, c, args)
+	case "status":
+		err = cmdStatus(ctx, c, args)
+	case "tail":
+		err = cmdTail(ctx, c, args)
+	case "output":
+		err = cmdOutput(ctx, c, args)
+	case "cancel":
+		err = cmdCancel(ctx, c, args)
+	case "workers":
+		err = cmdWorkers(ctx, c)
+	case "drain":
+		err = cmdDrain(ctx, c, args)
+	case "health":
+		err = cmdHealth(ctx, c)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "antctl:", err)
+		os.Exit(1)
+	}
+}
+
+func printJSON(v any) {
+	b, _ := json.MarshalIndent(v, "", "  ")
+	fmt.Println(string(b))
+}
+
+func cmdSubmit(ctx context.Context, c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	job := fs.String("job", "", "registry job name (required), e.g. exp/wordcount")
+	spec := fs.String("spec", "", "JSON build spec for the job")
+	tenant := fs.String("tenant", "", "tenant to account the job to")
+	prio := fs.Int("priority", 0, "job priority (higher first; default: tenant's)")
+	wait := fs.Bool("wait", false, "block until the job finishes; exit non-zero unless it succeeds")
+	fs.Parse(args)
+	if *job == "" {
+		return fmt.Errorf("submit: -job is required")
+	}
+	req := serve.SubmitRequest{Name: *job, Spec: json.RawMessage(*spec), Tenant: *tenant}
+	if *prio != 0 {
+		req.Priority = prio
+	}
+	rec, err := c.Submit(ctx, req)
+	if err != nil {
+		return err
+	}
+	printJSON(rec)
+	if !*wait {
+		return nil
+	}
+	rec, err = c.WaitJob(ctx, rec.ID, 200*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	printJSON(rec)
+	if rec.State != serve.StateSucceeded {
+		return fmt.Errorf("job %d %s: %s", rec.ID, rec.State, rec.Error)
+	}
+	return nil
+}
+
+func cmdStatus(ctx context.Context, c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	id := fs.Int("id", -1, "job id (default: list all)")
+	tenant := fs.String("tenant", "", "list only one tenant's jobs")
+	fs.Parse(args)
+	if *id >= 0 {
+		rec, err := c.Get(ctx, *id)
+		if err != nil {
+			return err
+		}
+		printJSON(rec)
+		return nil
+	}
+	recs, err := c.List(ctx, *tenant)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		fmt.Printf("%4d  %-10s %-20s %-9s tasks %d/%d  %s\n",
+			r.ID, r.Tenant, r.Name, r.State,
+			r.Progress.TasksDone, r.Progress.TasksTotal, r.Error)
+	}
+	return nil
+}
+
+func cmdTail(ctx context.Context, c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	id := fs.Int("id", -1, "job id (required)")
+	fs.Parse(args)
+	if *id < 0 {
+		return fmt.Errorf("tail: -id is required")
+	}
+	return c.Tail(ctx, *id, func(event string, snap serve.EventSnapshot) {
+		p := snap.Job.Progress
+		fmt.Printf("%s job %d %-9s maps %d/%d fetches %d/%d reduces %d/%d failures %d\n",
+			event, snap.Job.ID, snap.Job.State,
+			p.MapsDone, p.MapsTotal, p.FetchesDone, p.FetchesTotal,
+			p.ReducesDone, p.ReducesTotal, p.FailedAttempts)
+	})
+}
+
+func cmdOutput(ctx context.Context, c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("output", flag.ExitOnError)
+	id := fs.Int("id", -1, "job id (required)")
+	fs.Parse(args)
+	if *id < 0 {
+		return fmt.Errorf("output: -id is required")
+	}
+	b, err := c.Output(ctx, *id)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(b)
+	return nil
+}
+
+func cmdCancel(ctx context.Context, c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("cancel", flag.ExitOnError)
+	id := fs.Int("id", -1, "job id (required)")
+	fs.Parse(args)
+	if *id < 0 {
+		return fmt.Errorf("cancel: -id is required")
+	}
+	rec, err := c.Cancel(ctx, *id)
+	if err != nil {
+		return err
+	}
+	printJSON(rec)
+	return nil
+}
+
+func cmdWorkers(ctx context.Context, c *serve.Client) error {
+	ws, err := c.Workers(ctx)
+	if err != nil {
+		return err
+	}
+	for _, w := range ws {
+		state := "live"
+		if !w.Live {
+			state = "dead"
+		} else if w.Draining {
+			state = "draining"
+		}
+		fmt.Printf("%4d  %-21s %-8s slots %d  running %d\n",
+			w.ID, w.Addr, state, w.Slots, w.Outstanding)
+	}
+	return nil
+}
+
+func cmdDrain(ctx context.Context, c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("drain", flag.ExitOnError)
+	worker := fs.Int("worker", -1, "worker id (required)")
+	fs.Parse(args)
+	if *worker < 0 {
+		return fmt.Errorf("drain: -worker is required")
+	}
+	if err := c.DrainWorker(ctx, *worker); err != nil {
+		return err
+	}
+	fmt.Printf("worker %d draining\n", *worker)
+	return nil
+}
+
+func cmdHealth(ctx context.Context, c *serve.Client) error {
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		return err
+	}
+	printJSON(h)
+	return nil
+}

@@ -1,0 +1,131 @@
+// Command antserve is the long-lived multi-tenant job service: one
+// daemon owns one worker fleet and runs many jobs over it
+// concurrently. Workers (antwork) join at the fleet RPC address;
+// clients (antctl, curl) submit and manage jobs over the HTTP/JSON API
+// on -http. Jobs are admitted through per-tenant quotas into a
+// journal-backed queue and scheduled over the shared fleet with
+// per-tenant weighted fair share.
+//
+// Usage:
+//
+//	antserve -http 127.0.0.1:7070 -fleet 127.0.0.1:7071 \
+//	    -journal /var/lib/antserve/journal.jsonl \
+//	    -tenant 'analytics:weight=2,max_running=4' -tenant 'adhoc:weight=1'
+//
+// Endpoints: POST/GET /api/v1/jobs, GET/DELETE /api/v1/jobs/{id},
+// GET /api/v1/jobs/{id}/output, GET /api/v1/jobs/{id}/events (SSE),
+// GET /api/v1/workers, POST /api/v1/workers/{id}/drain, /healthz,
+// /metrics, and /debug/pprof when -pprof.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	_ "repro/internal/experiments" // registers the experiment cluster jobs
+	"repro/internal/serve"
+)
+
+// tenantFlags collects repeated -tenant definitions:
+// "name:weight=2,priority=1,max_running=4,max_queued=16".
+type tenantFlags map[string]serve.TenantConfig
+
+func (t tenantFlags) String() string { return fmt.Sprintf("%d tenants", len(t)) }
+
+func (t tenantFlags) Set(v string) error {
+	name, opts, _ := strings.Cut(v, ":")
+	if name == "" {
+		return errors.New("tenant name is empty")
+	}
+	var tc serve.TenantConfig
+	if opts != "" {
+		for _, kv := range strings.Split(opts, ",") {
+			k, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bad tenant option %q (want key=value)", kv)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("bad tenant option %q: %v", kv, err)
+			}
+			switch k {
+			case "weight":
+				tc.Weight = n
+			case "priority":
+				tc.Priority = n
+			case "max_running":
+				tc.MaxRunning = n
+			case "max_queued":
+				tc.MaxQueued = n
+			default:
+				return fmt.Errorf("unknown tenant option %q", k)
+			}
+		}
+	}
+	t[name] = tc
+	return nil
+}
+
+func main() {
+	tenants := tenantFlags{}
+	var (
+		httpAddr = flag.String("http", "127.0.0.1:7070", "HTTP API listen address")
+		fleet    = flag.String("fleet", "127.0.0.1:0", "fleet RPC listen address (workers join here)")
+		journal  = flag.String("journal", "", "JSONL job journal path (empty: in-memory queue only)")
+		maxJobs  = flag.Int("max-jobs", 16, "max concurrently running jobs across all tenants")
+		attempts = flag.Int("max-task-attempts", 4, "per-task attempt budget for every job")
+		pprof    = flag.Bool("pprof", false, "expose /debug/pprof on the HTTP listener")
+	)
+	flag.Var(tenants, "tenant", "tenant policy, repeatable: name:weight=2,priority=1,max_running=4,max_queued=16")
+	flag.Parse()
+
+	srv, err := serve.New(serve.Config{
+		Fleet:           cluster.FleetConfig{Addr: *fleet},
+		Tenants:         tenants,
+		MaxRunningJobs:  *maxJobs,
+		MaxTaskAttempts: *attempts,
+		JournalPath:     *journal,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "antserve:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "antserve:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler(*pprof)}
+	fmt.Printf("antserve: http %s fleet %s\n", ln.Addr(), srv.FleetAddr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "antserve: shutting down")
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "antserve:", err)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hs.Shutdown(sctx)
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "antserve:", err)
+		os.Exit(1)
+	}
+}

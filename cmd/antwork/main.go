@@ -1,10 +1,17 @@
-// Command antwork runs one cluster worker process: it registers with a
-// coordinator, heartbeats, pulls task leases, executes them against the
-// registry-built job, and serves its map output to peer workers over
-// TCP. antibench spawns workers itself for local clusters; antwork
-// exists for running workers under another supervisor or on another
-// machine (point -data-addr at a routable interface so peers can fetch
-// from it).
+// Command antwork runs one fleet worker process: it registers with a
+// fleet (a standalone coordinator or an antserve daemon), heartbeats,
+// pulls task leases across every job the fleet runs, executes them
+// against registry-built jobs, and serves its map output to peer
+// workers over TCP. antibench spawns workers itself for local
+// clusters; antwork exists for running workers under another
+// supervisor or on another machine (point -data-addr at a routable
+// interface so peers can fetch from it).
+//
+// SIGTERM (or the first SIGINT) drains gracefully: the worker
+// announces the drain to the fleet, takes no new leases, finishes —
+// or, after -drain-timeout, hands back — what it is running, then
+// deregisters and exits 0. A second signal cancels hard (crash
+// semantics: no parting report, the fleet recovers via heartbeats).
 //
 // Usage:
 //
@@ -19,6 +26,7 @@ import (
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"repro/internal/cluster"
 	_ "repro/internal/experiments" // registers the experiment cluster jobs
@@ -26,9 +34,10 @@ import (
 
 func main() {
 	var (
-		coord = flag.String("coordinator", "", "coordinator RPC address (required)")
-		slots = flag.Int("slots", runtime.GOMAXPROCS(0), "concurrent task slots")
-		data  = flag.String("data-addr", "127.0.0.1:0", "segment server bind address; use a routable host:0 to serve remote peers")
+		coord   = flag.String("coordinator", "", "fleet RPC address (required)")
+		slots   = flag.Int("slots", runtime.GOMAXPROCS(0), "concurrent task slots")
+		data    = flag.String("data-addr", "127.0.0.1:0", "segment server bind address; use a routable host:0 to serve remote peers")
+		drainTO = flag.Duration("drain-timeout", 30*time.Second, "how long a drain lets running attempts finish before handing them back")
 	)
 	flag.Parse()
 	if *coord == "" {
@@ -37,12 +46,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	drain := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "antwork: draining (signal again to exit immediately)")
+		close(drain)
+		<-sigs
+		cancel()
+	}()
+
 	err := cluster.RunWorker(ctx, cluster.WorkerOptions{
-		Coordinator: *coord,
-		Slots:       *slots,
-		DataAddr:    *data,
+		Coordinator:  *coord,
+		Slots:        *slots,
+		DataAddr:     *data,
+		Drain:        drain,
+		DrainTimeout: *drainTO,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "antwork:", err)

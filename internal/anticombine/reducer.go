@@ -11,6 +11,16 @@ import (
 // reducer/combiner instances a job creates.
 var instanceSeq atomic.Int64
 
+// antiWorkspace roots Shared scratch files in the job's file namespace
+// (TaskInfo.Workspace), falling back to JobName for callers that build a
+// TaskInfo by hand without one.
+func antiWorkspace(info *mr.TaskInfo) string {
+	if info.Workspace != "" {
+		return info.Workspace
+	}
+	return info.JobName
+}
+
 // antiReducer is the paper's AntiReducer (Figure 8). It also serves as
 // the transformed Combiner (§6.1: "a Combiner is defined as a reducer
 // class, hence we apply the same syntactic transformation"): in combiner
@@ -53,7 +63,7 @@ func (r *antiReducer) Setup(info *mr.TaskInfo, out mr.Emitter) error {
 		MergeFactor:   r.opts.SharedMergeFactor,
 		FS:            info.FS,
 		Prefix: fmt.Sprintf("%s/anti/t%04d-p%04d-i%d",
-			info.JobName, info.TaskID, info.Partition, instanceSeq.Add(1)),
+			antiWorkspace(info), info.TaskID, info.Partition, instanceSeq.Add(1)),
 		Combiner: sharedCombiner,
 		Counters: info.Counters,
 		Tracer:   info.Tracer,

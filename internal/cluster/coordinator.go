@@ -2,19 +2,15 @@ package cluster
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"net"
-	"net/rpc"
-	"sync"
 	"time"
 
 	"repro/internal/mr"
 	"repro/internal/obs"
-	"repro/internal/sched"
 )
 
-// Config tunes a coordinator.
+// Config tunes a single-job coordinator — the classic one-shot shape:
+// one fleet, one exclusive job, workers released when it finishes.
 type Config struct {
 	// Job names the registry job the cluster will run.
 	Job JobRef
@@ -43,181 +39,58 @@ type Config struct {
 	OnEvent func(Event)
 }
 
-// Event is one coordinator lifecycle observation.
-type Event struct {
-	// Kind is "register", "worker-dead", "task-done", or "task-failed".
-	Kind    string
-	Worker  int
-	Task    string
-	Attempt int
-	Detail  string
-}
-
 func (c Config) normalized() Config {
-	if c.Addr == "" {
-		c.Addr = "127.0.0.1:0"
-	}
 	if c.MinWorkers <= 0 {
 		c.MinWorkers = 1
 	}
 	if c.MaxTaskAttempts <= 0 {
 		c.MaxTaskAttempts = 4
 	}
-	if c.HeartbeatEvery <= 0 {
-		c.HeartbeatEvery = 50 * time.Millisecond
-	}
-	if c.HeartbeatMiss <= 0 {
-		c.HeartbeatMiss = 4
-	}
 	return c
 }
 
-// unreachableThreshold is how many distinct fetch-failure reports
-// against one worker's segment server declare that worker dead even
-// while its heartbeats still arrive (a half-dead worker: alive control
-// plane, wedged data plane) — Hadoop's fetch-failure blacklisting.
-const unreachableThreshold = 3
-
-// leasePollTimeout bounds one Lease long-poll on the server side.
-const leasePollTimeout = 200 * time.Millisecond
-
-// taskError is a worker-reported attempt failure; Transient ones are
-// retried by the scheduler.
-type taskError struct {
-	Msg       string
-	Transient bool
-}
-
-func (e *taskError) Error() string { return e.Msg }
-
-// errWorkerLost is the synthetic failure delivered to leases
-// outstanding on a worker declared dead.
-var errWorkerLost = errors.New("cluster: worker lost")
-
-type workerState struct {
-	id       int
-	dataAddr string
-	slots    int
-	leaseQ   chan TaskLease
-
-	dead        bool
-	lastBeat    time.Time
-	outstanding int         // granted leases not yet reported
-	cancels     []AttemptID // delivered on next heartbeat
-	unreachable int         // fetch-failure reports against this worker
-
-	// Last-observed cumulative gauges from this worker's reports.
-	lastDials      int64
-	lastServed     int64
-	lastRPCRetries int64
-	lastIntegrity  int64
-
-	span *obs.SpanRef
-}
-
-type pendingLease struct {
-	worker  int
-	granted time.Time
-	ch      chan *ReportArgs
-}
-
-type taskMeta struct {
-	group     string
-	mapTask   int
-	partition int
-	mapIndex  int
-}
-
-// Coordinator owns the cluster's task graph and placement state. It
-// implements sched.Executor: the scheduler's worker slots call Execute,
-// which leases the task to a worker process and blocks for its report.
+// Coordinator runs one job over a private fleet. It is a thin wrapper
+// around Fleet + Submit kept for the one-shot callers (antibench, the
+// chaos harness, experiments): the fleet half owns workers and lease
+// dispatch, the job half owns the task graph and result assembly.
 type Coordinator struct {
-	cfg    Config
-	job    *mr.Job
-	splits []mr.Split
-	nMap   int
-	nRed   int
-	meta   map[string]taskMeta
-
-	ln net.Listener
-
-	mu         sync.Mutex
-	workers    map[int]*workerState
-	nextWorker int
-	partHome   map[int]int // reduce partition -> home worker id
-	pending    map[AttemptID]*pendingLease
-	registered chan struct{} // signaled once per registration
-	shutdown   bool
+	cfg   Config
+	fleet *Fleet
 }
 
-// New builds a coordinator for cfg and starts its RPC listener, so
-// Addr is dialable before Run is called (workers may be launched
-// first). The job is materialized from the registry to learn the task
-// graph's shape; the coordinator itself never executes task code.
+// New builds a coordinator for cfg and starts its fleet's RPC
+// listener, so Addr is dialable before Run is called (workers may be
+// launched first). The job is materialized from the registry up front
+// to fail fast on unknown jobs; the coordinator never executes task
+// code itself.
 func New(cfg Config) (*Coordinator, error) {
 	cfg = cfg.normalized()
-	job, splits, err := BuildJob(cfg.Job)
+	_, splits, err := BuildJob(cfg.Job)
 	if err != nil {
 		return nil, err
 	}
 	if len(splits) == 0 {
 		return nil, fmt.Errorf("cluster: job %q built zero splits", cfg.Job.Name)
 	}
-	nRed := job.NumReduceTasks
-	if nRed <= 0 {
-		nRed = 4 // mirror mr's normalization default
-	}
-	c := &Coordinator{
-		cfg:        cfg,
-		job:        job,
-		splits:     splits,
-		nMap:       len(splits),
-		nRed:       nRed,
-		meta:       make(map[string]taskMeta),
-		workers:    make(map[int]*workerState),
-		partHome:   make(map[int]int),
-		pending:    make(map[AttemptID]*pendingLease),
-		registered: make(chan struct{}, 64),
-	}
-	ln, err := net.Listen("tcp", cfg.Addr)
+	fleet, err := NewFleet(FleetConfig{
+		Addr:           cfg.Addr,
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		HeartbeatMiss:  cfg.HeartbeatMiss,
+		Tracer:         cfg.Tracer,
+		OnEvent:        cfg.OnEvent,
+	})
 	if err != nil {
 		return nil, err
 	}
-	c.ln = ln
-	srv := rpc.NewServer()
-	if err := srv.RegisterName("Cluster", &clusterRPC{c: c}); err != nil {
-		ln.Close()
-		return nil, err
-	}
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go srv.ServeConn(conn)
-		}
-	}()
-	return c, nil
+	return &Coordinator{cfg: cfg, fleet: fleet}, nil
 }
 
 // Addr is the coordinator's dialable RPC address.
-func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+func (c *Coordinator) Addr() string { return c.fleet.Addr() }
 
 // Close stops the RPC listener and marks the coordinator shut down;
 // workers learn of it through their next lease or heartbeat.
-func (c *Coordinator) Close() error {
-	c.mu.Lock()
-	c.shutdown = true
-	c.mu.Unlock()
-	return c.ln.Close()
-}
-
-func (c *Coordinator) event(e Event) {
-	if c.cfg.OnEvent != nil {
-		c.cfg.OnEvent(e)
-	}
-}
+func (c *Coordinator) Close() error { return c.fleet.Close() }
 
 // Run waits for MinWorkers workers, executes the job's task graph
 // through them, and assembles an mr.Result whose output is
@@ -225,585 +98,20 @@ func (c *Coordinator) event(e Event) {
 // MeasuredShuffle additionally records the real network transfer. On
 // return, workers are told to shut down via their next poll.
 func (c *Coordinator) Run(ctx context.Context) (*mr.Result, error) {
-	start := time.Now()
-	jobSpan := c.cfg.Tracer.Start(obs.KindJob, c.cfg.Job.Name+" (cluster)",
-		obs.Int("splits", int64(c.nMap)), obs.Int("reducers", int64(c.nRed)))
-
-	if err := c.waitForWorkers(ctx); err != nil {
-		jobSpan.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
+	if err := c.fleet.WaitWorkers(ctx, c.cfg.MinWorkers); err != nil {
 		return nil, err
 	}
-
-	monCtx, stopMon := context.WithCancel(context.Background())
-	defer stopMon()
-	go c.monitorHeartbeats(monCtx)
-
-	tasks, slots := c.buildTasks()
-	cfg := sched.Config{
-		Workers:     slots,
-		MaxAttempts: c.cfg.MaxTaskAttempts,
-		Speculate:   c.cfg.Speculative,
-		Tracer:      c.cfg.Tracer,
-		Executor:    c,
-		Retryable: func(err error) bool {
-			var te *taskError
-			return errors.As(err, &te) && te.Transient
-		},
-	}
-	report, err := sched.Run(ctx, tasks, cfg)
-
-	// Job over (either way): release workers.
-	c.mu.Lock()
-	c.shutdown = true
-	c.mu.Unlock()
-
+	h, err := c.fleet.Submit(ctx, JobSpec{
+		Ref:             c.cfg.Job,
+		MaxTaskAttempts: c.cfg.MaxTaskAttempts,
+		Speculative:     c.cfg.Speculative,
+		Exclusive:       true,
+	})
 	if err != nil {
-		jobSpan.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
 		return nil, err
 	}
-	res := c.assemble(report, start)
-	jobSpan.End(obs.Str("outcome", "success"),
-		obs.Int("measured_shuffle_bytes", res.MeasuredShuffle.Bytes))
-	return res, nil
-}
-
-func (c *Coordinator) waitForWorkers(ctx context.Context) error {
-	for {
-		c.mu.Lock()
-		n := 0
-		for _, w := range c.workers {
-			if !w.dead {
-				n++
-			}
-		}
-		c.mu.Unlock()
-		if n >= c.cfg.MinWorkers {
-			return nil
-		}
-		select {
-		case <-c.registered:
-		case <-ctx.Done():
-			return fmt.Errorf("cluster: waiting for %d workers: %w", c.cfg.MinWorkers, ctx.Err())
-		}
-	}
-}
-
-// buildTasks lays out the same DAG as the in-process pipelined
-// scheduler — map/i → fetch/p/i → reduce/p — with nil Run closures, so
-// every attempt dispatches through Execute. slots is the cluster's
-// total task capacity, used as the scheduler's worker bound.
-func (c *Coordinator) buildTasks() ([]sched.Task, int) {
-	tasks := make([]sched.Task, 0, c.nMap+c.nMap*c.nRed+c.nRed)
-	for i := 0; i < c.nMap; i++ {
-		name := mr.MapTaskName(i)
-		c.meta[name] = taskMeta{group: mr.TaskGroupMap, mapTask: i}
-		tasks = append(tasks, sched.Task{
-			Name: name, Group: mr.TaskGroupMap, Speculatable: c.cfg.Speculative,
-		})
-	}
-	for p := 0; p < c.nRed; p++ {
-		for i := 0; i < c.nMap; i++ {
-			name := mr.FetchTaskName(p, i)
-			c.meta[name] = taskMeta{group: mr.TaskGroupFetch, partition: p, mapIndex: i}
-			tasks = append(tasks, sched.Task{
-				Name: name, Group: mr.TaskGroupFetch, Deps: []string{mr.MapTaskName(i)},
-			})
-		}
-	}
-	for p := 0; p < c.nRed; p++ {
-		name := mr.ReduceTaskName(p)
-		c.meta[name] = taskMeta{group: mr.TaskGroupReduce, partition: p}
-		deps := make([]string, c.nMap)
-		for i := range deps {
-			deps[i] = mr.FetchTaskName(p, i)
-		}
-		tasks = append(tasks, sched.Task{Name: name, Group: mr.TaskGroupReduce, Deps: deps})
-	}
-	c.mu.Lock()
-	slots := 0
-	for _, w := range c.workers {
-		if !w.dead {
-			slots += w.slots
-		}
-	}
-	c.mu.Unlock()
-	if slots < 1 {
-		slots = 1
-	}
-	return tasks, slots
-}
-
-// Committed task values. Stats ride inside them so only winning
-// attempts contribute to job stats (a speculative loser's snapshot is
-// discarded with its value).
-type mapValue struct {
-	worker int
-	addr   string
-	segs   []SegInfo
-	stats  mr.Stats
-	dur    time.Duration
-}
-
-type fetchValue struct {
-	worker    int
-	segs      []SegInfo
-	flow      int64
-	fetchTime time.Duration
-	fetches   int
-	stats     mr.Stats
-}
-
-type reduceValue struct {
-	worker int
-	recs   []mr.Record
-	stats  mr.Stats
-	dur    time.Duration
-}
-
-// Execute implements sched.Executor: lease the task to a worker, block
-// for its report (or cancellation), and translate the outcome into the
-// scheduler's vocabulary — including DepLostError when committed
-// upstream output turns out to live on a dead worker.
-func (c *Coordinator) Execute(ctx context.Context, task *sched.Task, tc *sched.TaskContext) (any, error) {
-	meta := c.meta[task.Name]
-	lease := TaskLease{Task: task.Name, Group: task.Group, Attempt: tc.Attempt}
-
-	c.mu.Lock()
-	var w *workerState
-	switch meta.group {
-	case mr.TaskGroupMap:
-		lease.MapTask = meta.mapTask
-		w = c.pickWorkerLocked()
-
-	case mr.TaskGroupFetch:
-		mv, ok := tc.Dep(mr.MapTaskName(meta.mapIndex)).(mapValue)
-		if !ok {
-			c.mu.Unlock()
-			return nil, fmt.Errorf("cluster: fetch %s missing map value", task.Name)
-		}
-		if src := c.workers[mv.worker]; src == nil || src.dead {
-			c.mu.Unlock()
-			return nil, &sched.DepLostError{
-				Deps: []string{mr.MapTaskName(meta.mapIndex)},
-				Err:  fmt.Errorf("cluster: worker %d holding map output is dead", mv.worker),
-			}
-		}
-		lease.Partition = meta.partition
-		lease.MapIndex = meta.mapIndex
-		for _, s := range mv.segs {
-			if s.Partition == meta.partition {
-				lease.Sources = append(lease.Sources, s)
-			}
-		}
-		home := c.homeLocked(meta.partition)
-		if home != nil && len(lease.Sources) == 0 {
-			// Nothing to move for this (partition, map) pair: commit an
-			// empty fetch value on the home worker without a round trip.
-			id := home.id
-			c.mu.Unlock()
-			return fetchValue{worker: id}, nil
-		}
-		w = home
-
-	case mr.TaskGroupReduce:
-		home, lost, locals, localTasks := c.reduceInputsLocked(meta.partition, tc)
-		if len(lost) > 0 {
-			c.mu.Unlock()
-			return nil, &sched.DepLostError{
-				Deps: lost,
-				Err:  fmt.Errorf("cluster: partition %d inputs scattered or on dead workers", meta.partition),
-			}
-		}
-		lease.Partition = meta.partition
-		lease.Locals = locals
-		lease.LocalTasks = localTasks
-		w = home
-	}
-	if w == nil {
-		c.mu.Unlock()
-		return nil, &taskError{Msg: "cluster: no live workers", Transient: true}
-	}
-
-	key := AttemptID{Task: task.Name, Attempt: tc.Attempt}
-	pend := &pendingLease{worker: w.id, granted: time.Now(), ch: make(chan *ReportArgs, 1)}
-	c.pending[key] = pend
-	w.outstanding++
-	c.mu.Unlock()
-
-	// Enqueue; a synthetic worker-lost report may beat the enqueue.
-	select {
-	case w.leaseQ <- lease:
-	case rep := <-pend.ch:
-		return c.settle(task, w, pend, rep)
-	case <-ctx.Done():
-		c.dropLease(key, w, false)
-		return nil, ctx.Err()
-	}
-
-	select {
-	case rep := <-pend.ch:
-		return c.settle(task, w, pend, rep)
-	case <-ctx.Done():
-		// Revoke: the worker aborts the attempt on its next heartbeat.
-		c.dropLease(key, w, true)
-		return nil, ctx.Err()
-	}
-}
-
-// dropLease abandons a pending lease after cancellation; cancelRemote
-// queues an abort for the worker's next heartbeat.
-func (c *Coordinator) dropLease(key AttemptID, w *workerState, cancelRemote bool) {
-	c.mu.Lock()
-	if _, ok := c.pending[key]; ok {
-		delete(c.pending, key)
-		w.outstanding--
-	}
-	if cancelRemote && !w.dead {
-		w.cancels = append(w.cancels, key)
-	}
-	c.mu.Unlock()
-}
-
-// settle turns a worker's report into Execute's return value.
-func (c *Coordinator) settle(task *sched.Task, w *workerState, pend *pendingLease, rep *ReportArgs) (any, error) {
-	now := time.Now()
-	if c.cfg.Tracer != nil {
-		c.cfg.Tracer.Record(obs.KindLease, task.Name, pend.granted, now,
-			obs.Int("worker", int64(w.id)), obs.Str("group", task.Group),
-			obs.Bool("ok", rep.Errmsg == ""))
-	}
-	if rep.Errmsg != "" {
-		c.noteUnreachable(rep.Unreachable)
-		c.event(Event{Kind: "task-failed", Worker: w.id, Task: task.Name, Attempt: rep.Attempt, Detail: rep.Errmsg})
-		if len(rep.LostDeps) > 0 {
-			return nil, &sched.DepLostError{Deps: rep.LostDeps, Err: errors.New(rep.Errmsg)}
-		}
-		return nil, &taskError{Msg: rep.Errmsg, Transient: rep.Transient}
-	}
-	c.event(Event{Kind: "task-done", Worker: w.id, Task: task.Name, Attempt: rep.Attempt})
-	switch task.Group {
-	case mr.TaskGroupMap:
-		return mapValue{
-			worker: w.id, addr: w.dataAddr, segs: rep.Segs,
-			stats: rep.Stats, dur: time.Duration(rep.DurNs),
-		}, nil
-	case mr.TaskGroupFetch:
-		return fetchValue{
-			worker: w.id, segs: rep.Segs, flow: rep.FlowBytes,
-			fetchTime: time.Duration(rep.FetchNs), fetches: rep.Fetches,
-			stats: rep.Stats,
-		}, nil
-	default:
-		return reduceValue{
-			worker: w.id, recs: rep.Records,
-			stats: rep.Stats, dur: time.Duration(rep.DurNs),
-		}, nil
-	}
-}
-
-// noteUnreachable counts fetch-failure evidence against segment
-// servers; enough distinct reports declare the owning worker dead even
-// while its heartbeats arrive (wedged data plane).
-func (c *Coordinator) noteUnreachable(addrs []string) {
-	if len(addrs) == 0 {
-		return
-	}
-	var died []*workerState
-	c.mu.Lock()
-	for _, addr := range addrs {
-		for _, w := range c.workers {
-			if w.dataAddr != addr || w.dead {
-				continue
-			}
-			if w.unreachable++; w.unreachable >= unreachableThreshold {
-				died = append(died, w)
-				c.markDeadLocked(w, "segment server unreachable")
-			}
-		}
-	}
-	c.mu.Unlock()
-	for _, w := range died {
-		c.event(Event{Kind: "worker-dead", Worker: w.id, Detail: "unreachable"})
-	}
-}
-
-// pickWorkerLocked returns the least-loaded live worker, or nil.
-func (c *Coordinator) pickWorkerLocked() *workerState {
-	var best *workerState
-	for _, w := range c.workers {
-		if w.dead {
-			continue
-		}
-		if best == nil || w.outstanding < best.outstanding ||
-			(w.outstanding == best.outstanding && w.id < best.id) {
-			best = w
-		}
-	}
-	return best
-}
-
-// homeLocked returns partition p's home worker, electing a new one if
-// none is assigned or the previous home died. All of a partition's
-// fetch and reduce leases go to its home, so reduce inputs are local.
-func (c *Coordinator) homeLocked(p int) *workerState {
-	if id, ok := c.partHome[p]; ok {
-		if w := c.workers[id]; w != nil && !w.dead {
-			return w
-		}
-	}
-	w := c.pickWorkerLocked()
-	if w != nil {
-		c.partHome[p] = w.id
-	}
-	return w
-}
-
-// reduceInputsLocked validates that every fetch value for partition p
-// is local to the partition's current live home, returning the lost
-// fetch task names otherwise.
-func (c *Coordinator) reduceInputsLocked(p int, tc *sched.TaskContext) (home *workerState, lost []string, locals []SegInfo, localTasks []string) {
-	if id, ok := c.partHome[p]; ok {
-		if w := c.workers[id]; w != nil && !w.dead {
-			home = w
-		}
-	}
-	for i := 0; i < c.nMap; i++ {
-		name := mr.FetchTaskName(p, i)
-		fv, ok := tc.Dep(name).(fetchValue)
-		if !ok {
-			lost = append(lost, name)
-			continue
-		}
-		if home == nil || fv.worker != home.id {
-			lost = append(lost, name)
-			continue
-		}
-		for _, s := range fv.segs {
-			locals = append(locals, s)
-			localTasks = append(localTasks, name)
-		}
-	}
-	return home, lost, locals, localTasks
-}
-
-// monitorHeartbeats declares workers dead after HeartbeatMiss missed
-// intervals and fails their outstanding leases so the scheduler can
-// retry the work elsewhere.
-func (c *Coordinator) monitorHeartbeats(ctx context.Context) {
-	t := time.NewTicker(c.cfg.HeartbeatEvery)
-	defer t.Stop()
-	for {
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-			return
-		}
-		limit := time.Duration(c.cfg.HeartbeatMiss) * c.cfg.HeartbeatEvery
-		now := time.Now()
-		var died []*workerState
-		c.mu.Lock()
-		for _, w := range c.workers {
-			if !w.dead && now.Sub(w.lastBeat) > limit {
-				died = append(died, w)
-				c.markDeadLocked(w, "missed heartbeats")
-			}
-		}
-		c.mu.Unlock()
-		for _, w := range died {
-			c.event(Event{Kind: "worker-dead", Worker: w.id, Detail: "missed heartbeats"})
-		}
-	}
-}
-
-// markDeadLocked transitions a worker to dead: its outstanding leases
-// receive synthetic transient failures (the scheduler will re-place
-// them), and its committed map output will be found lost by the fetch
-// dispatch pre-check, triggering re-execution.
-func (c *Coordinator) markDeadLocked(w *workerState, why string) {
-	w.dead = true
-	if c.cfg.Tracer != nil {
-		now := time.Now()
-		c.cfg.Tracer.Record(obs.KindHeartbeat, fmt.Sprintf("worker-%d lost", w.id),
-			now, now, obs.Str("reason", why))
-	}
-	if w.span != nil {
-		w.span.End(obs.Str("outcome", "dead"), obs.Str("reason", why))
-		w.span = nil
-	}
-	for key, pend := range c.pending {
-		if pend.worker != w.id {
-			continue
-		}
-		delete(c.pending, key)
-		w.outstanding--
-		pend.ch <- &ReportArgs{
-			WorkerID: w.id, Task: key.Task, Attempt: key.Attempt,
-			Errmsg:    fmt.Sprintf("%v: worker %d (%s)", errWorkerLost, w.id, why),
-			Transient: true,
-		}
-	}
-}
-
-// assemble builds the job Result from committed task values.
-func (c *Coordinator) assemble(report *sched.Report, start time.Time) *mr.Result {
-	res := &mr.Result{
-		Output:              make([][]mr.Record, c.nRed),
-		ShufflePerPartition: make([]int64, c.nRed),
-		ReduceTaskTimes:     make([]time.Duration, c.nRed),
-		MapTaskTimes:        make([]time.Duration, c.nMap),
-		Timeline:            report.Attempts,
-	}
-	var stats mr.Stats
-	meas := &mr.ShuffleMeasurement{}
-	for i := 0; i < c.nMap; i++ {
-		mv := report.Value(mr.MapTaskName(i)).(mapValue)
-		stats.Accumulate(mv.stats)
-		res.MapTaskTimes[i] = mv.dur
-	}
-	for p := 0; p < c.nRed; p++ {
-		for i := 0; i < c.nMap; i++ {
-			fv := report.Value(mr.FetchTaskName(p, i)).(fetchValue)
-			stats.Accumulate(fv.stats)
-			res.ShufflePerPartition[p] += fv.flow
-			meas.Bytes += fv.flow
-			meas.FetchTime += fv.fetchTime
-			meas.Fetches += fv.fetches
-		}
-		rv := report.Value(mr.ReduceTaskName(p)).(reduceValue)
-		stats.Accumulate(rv.stats)
-		res.Output[p] = rv.recs
-		res.ReduceTaskTimes[p] = rv.dur
-	}
-	if s, e, ok := sched.Span(report.Attempts, mr.TaskGroupFetch); ok {
-		meas.Extent = e.Sub(s)
-	}
-	c.mu.Lock()
-	var rpcRetries, integrity int64
-	for _, w := range c.workers {
-		meas.Dials += w.lastDials
-		// Serve-side reads happen on the producing worker's disk, outside
-		// any attempt's metered view; fold the cumulative gauge in.
-		stats.DiskReadBytes += w.lastServed
-		rpcRetries += w.lastRPCRetries
-		integrity += w.lastIntegrity
-	}
-	c.mu.Unlock()
-	if rpcRetries > 0 || integrity > 0 {
-		if stats.Extra == nil {
-			stats.Extra = make(map[string]int64, 2)
-		}
-		if rpcRetries > 0 {
-			stats.Extra[CounterRPCRetries] += rpcRetries
-		}
-		if integrity > 0 {
-			stats.Extra[mr.CounterFetchIntegrity] += integrity
-		}
-	}
-	stats.WallTime = time.Since(start)
-	res.Stats = stats
-	res.MeasuredShuffle = meas
-	return res
-}
-
-// clusterRPC is the coordinator's RPC surface.
-type clusterRPC struct {
-	c *Coordinator
-}
-
-func (r *clusterRPC) Register(args *RegisterArgs, reply *RegisterReply) error {
-	c := r.c
-	c.mu.Lock()
-	if c.shutdown {
-		c.mu.Unlock()
-		return errors.New("cluster: coordinator is shutting down")
-	}
-	id := c.nextWorker
-	c.nextWorker++
-	slots := args.Slots
-	if slots <= 0 {
-		slots = 1
-	}
-	w := &workerState{
-		id: id, dataAddr: args.DataAddr, slots: slots,
-		leaseQ: make(chan TaskLease, 256), lastBeat: time.Now(),
-	}
-	if c.cfg.Tracer != nil {
-		w.span = c.cfg.Tracer.Start(obs.KindWorker, fmt.Sprintf("worker-%d", id),
-			obs.Str("data_addr", args.DataAddr), obs.Int("slots", int64(slots)))
-	}
-	c.workers[id] = w
-	c.mu.Unlock()
-
-	reply.WorkerID = id
-	reply.Job = c.cfg.Job
-	reply.HeartbeatEvery = c.cfg.HeartbeatEvery
-	reply.MaxTaskAttempts = c.cfg.MaxTaskAttempts
-	c.event(Event{Kind: "register", Worker: id, Detail: args.DataAddr})
-	select {
-	case c.registered <- struct{}{}:
-	default:
-	}
-	return nil
-}
-
-func (r *clusterRPC) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) error {
-	c := r.c
-	c.mu.Lock()
-	w := c.workers[args.WorkerID]
-	if w == nil || w.dead || c.shutdown {
-		// A declared-dead worker must not rejoin placement: its committed
-		// outputs were already rescheduled elsewhere.
-		reply.Shutdown = true
-		c.mu.Unlock()
-		return nil
-	}
-	w.lastBeat = time.Now()
-	reply.Cancel = w.cancels
-	w.cancels = nil
-	c.mu.Unlock()
-	return nil
-}
-
-func (r *clusterRPC) Lease(args *LeaseArgs, reply *LeaseReply) error {
-	c := r.c
-	c.mu.Lock()
-	w := c.workers[args.WorkerID]
-	if w == nil || w.dead || c.shutdown {
-		reply.Shutdown = true
-		c.mu.Unlock()
-		return nil
-	}
-	q := w.leaseQ
-	c.mu.Unlock()
-	select {
-	case l := <-q:
-		reply.Granted = true
-		reply.Lease = l
-	case <-time.After(leasePollTimeout):
-		reply.Idle = true
-	}
-	return nil
-}
-
-func (r *clusterRPC) Report(args *ReportArgs, reply *ReportReply) error {
-	c := r.c
-	key := AttemptID{Task: args.Task, Attempt: args.Attempt}
-	c.mu.Lock()
-	w := c.workers[args.WorkerID]
-	pend := c.pending[key]
-	if w == nil || pend == nil || pend.worker != args.WorkerID {
-		// Stale: a cancelled attempt, a lost race, or a worker already
-		// declared dead. Drop it; the authoritative outcome is elsewhere.
-		c.mu.Unlock()
-		return nil
-	}
-	delete(c.pending, key)
-	w.outstanding--
-	w.lastDials = args.PoolDials
-	w.lastServed = args.ServedBytes
-	w.lastRPCRetries = args.RPCRetries
-	w.lastIntegrity = args.IntegrityFaults
-	c.mu.Unlock()
-	pend.ch <- args
-	return nil
+	res, err := h.Wait(ctx)
+	// Job over (either way): release workers.
+	c.fleet.Shutdown()
+	return res, err
 }

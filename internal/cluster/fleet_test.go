@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/iokit"
+)
+
+// fleetWorkers starts n in-process workers on tracked filesystems and
+// returns their trackers plus a channel carrying each worker's exit
+// error.
+func fleetWorkers(t *testing.T, ctx context.Context, f *Fleet, n, slots int) ([]*iokit.TrackFS, chan error) {
+	t.Helper()
+	trackers := make([]*iokit.TrackFS, n)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		trackers[i] = &iokit.TrackFS{Inner: iokit.NewMemFS()}
+		fs := trackers[i]
+		go func() {
+			errs <- RunWorker(ctx, WorkerOptions{Coordinator: f.Addr(), Slots: slots, FS: fs})
+		}()
+	}
+	if err := f.WaitWorkers(ctx, n); err != nil {
+		t.Fatal(err)
+	}
+	return trackers, errs
+}
+
+// TestFleetConcurrentJobsByteIdentical runs nine jobs from three
+// tenants concurrently over one three-worker fleet. Every job's output
+// must be byte-identical to its own single-process run, and when the
+// fleet retires the jobs the workers' shared filesystems must come
+// back empty (per-job workspace sweeps) with zero leaked handles.
+func TestFleetConcurrentJobsByteIdentical(t *testing.T) {
+	// Generous miss tolerance: under -race, nine concurrent jobs can
+	// stall a heartbeat goroutine past the production default, and a
+	// spuriously dead worker (correctly) never gets cleanup announcements.
+	f, err := NewFleet(FleetConfig{HeartbeatEvery: 50 * time.Millisecond, HeartbeatMiss: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	trackers, workerErr := fleetWorkers(t, ctx, f, 3, 2)
+
+	tenants := []string{"analytics", "adhoc", "batch"}
+	const nJobs = 9
+	refs := make([]JobRef, nJobs)
+	handles := make([]*JobHandle, nJobs)
+	for i := range refs {
+		// Distinct specs so jobs cannot accidentally share output.
+		refs[i] = JobRef{Name: testJobName, Spec: mustSpec(t, testSpec{
+			Splits: 4, Lines: 60 + 10*i, Reducers: 3,
+		})}
+		h, err := f.Submit(ctx, JobSpec{
+			Ref:    refs[i],
+			Tenant: tenants[i%len(tenants)],
+			Weight: 1 + i%2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		res, err := h.Wait(ctx)
+		if err != nil {
+			t.Fatalf("job %d failed: %v", i, err)
+		}
+		assertSameOutput(t, res, singleProcessRun(t, refs[i]))
+		p := h.Progress()
+		if p.TasksDone != p.TasksTotal || p.TasksTotal == 0 {
+			t.Errorf("job %d progress %d/%d, want complete", i, p.TasksDone, p.TasksTotal)
+		}
+	}
+
+	// Cleanup announcements ride heartbeats; poll until every worker's
+	// filesystem is swept empty.
+	deadline := time.Now().Add(10 * time.Second)
+	for i, tr := range trackers {
+		for {
+			files, err := tr.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(files) == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %d still holds %d files after job cleanup: %v", i, len(files), files[:min(len(files), 5)])
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if n := tr.OpenHandles(); n != 0 {
+			t.Errorf("worker %d leaked %d file handles", i, n)
+		}
+	}
+
+	f.Shutdown()
+	for i := 0; i < 3; i++ {
+		if err := <-workerErr; err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}
+}
+
+// TestFleetFairShare exercises the dispatch comparator directly: the
+// tenant with the smaller weighted share of running leases wins, ties
+// fall to priority then FIFO order.
+func TestFleetFairShare(t *testing.T) {
+	f := &Fleet{running: map[string]int{"a": 4, "b": 1}}
+	mk := func(tenant string, weight, prio int, seq int64) *queuedLease {
+		return &queuedLease{
+			job: &jobRun{spec: JobSpec{Tenant: tenant, Priority: prio}, weight: weight},
+			seq: seq,
+		}
+	}
+	if !f.betterLocked(mk("b", 1, 0, 9), mk("a", 1, 0, 1)) {
+		t.Error("tenant b (1 running) should beat tenant a (4 running)")
+	}
+	// Weight 4 tenant a: share 4/4 = 1 = b's 1/1; tie falls to FIFO.
+	if !f.betterLocked(mk("a", 4, 0, 1), mk("b", 1, 0, 2)) {
+		t.Error("equal weighted shares should fall through to FIFO")
+	}
+	if !f.betterLocked(mk("a", 4, 5, 9), mk("b", 1, 0, 1)) {
+		t.Error("equal shares: higher priority should win over FIFO")
+	}
+	// Weight scales share: a at 4 running with weight 8 has share 1/2,
+	// beating b at 1 running weight 1 (share 1).
+	if !f.betterLocked(mk("a", 8, 0, 9), mk("b", 1, 0, 1)) {
+		t.Error("weight should scale the running-lease share")
+	}
+}
+
+// TestFleetDrainMidStream drains a worker while jobs are mid-stream:
+// every job must still succeed with byte-identical output (zero job
+// failures), and the drained worker must deregister and exit nil.
+func TestFleetDrainMidStream(t *testing.T) {
+	onEvent, ch := events()
+	f, err := NewFleet(FleetConfig{HeartbeatEvery: 50 * time.Millisecond, HeartbeatMiss: 40, OnEvent: onEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	_, workerErr := fleetWorkers(t, ctx, f, 3, 2)
+
+	refs := make([]JobRef, 4)
+	handles := make([]*JobHandle, len(refs))
+	for i := range refs {
+		refs[i] = JobRef{Name: testJobName, Spec: mustSpec(t, testSpec{
+			Splits: 8, Lines: 100 + 10*i, Reducers: 3, MapDelayUs: 200,
+		})}
+		h, err := f.Submit(ctx, JobSpec{Ref: refs[i], Tenant: fmt.Sprintf("t%d", i%2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+
+	// Drain the worker that commits the first map task — it holds
+	// committed output other jobs' fetches still need.
+	e := awaitEvent(t, ch, "first map commit", func(e Event) bool {
+		return e.Kind == "task-done" && e.Task != "" && e.Detail == "" && e.Attempt >= 0 &&
+			len(e.Task) > 4 && e.Task[:4] == "map/"
+	})
+	if !f.DrainWorker(e.Worker) {
+		t.Fatalf("draining worker %d failed", e.Worker)
+	}
+	awaitEvent(t, ch, "worker drained", func(ev Event) bool {
+		return ev.Kind == "worker-drained" && ev.Worker == e.Worker
+	})
+
+	for i, h := range handles {
+		res, err := h.Wait(ctx)
+		if err != nil {
+			t.Fatalf("job %d failed after drain: %v", i, err)
+		}
+		assertSameOutput(t, res, singleProcessRun(t, refs[i]))
+	}
+
+	f.Shutdown()
+	for i := 0; i < 3; i++ {
+		if err := <-workerErr; err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}
+}

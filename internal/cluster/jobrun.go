@@ -1,0 +1,568 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/mr"
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// JobSpec describes one job submission to a fleet.
+type JobSpec struct {
+	// Ref names the registry job to run.
+	Ref JobRef
+	// Tenant is the fair-share accounting bucket (default "default"):
+	// lease dispatch equalizes running-lease share across tenants.
+	Tenant string
+	// Weight scales the tenant's fair share (default 1); dispatch
+	// compares running/weight across tenants, so a weight-2 job's tenant
+	// sustains twice the running leases of a weight-1 tenant under
+	// contention.
+	Weight int
+	// Priority breaks fair-share ties, higher first.
+	Priority int
+	// MaxTaskAttempts caps attempts per task, counting both retries and
+	// re-executions after output loss (default 4).
+	MaxTaskAttempts int
+	// Speculative enables speculative duplicates of straggling map tasks.
+	Speculative bool
+	// Exclusive marks the classic one-shot shape (one fleet, one job):
+	// the scheduler is bounded to the fleet's slot count, and the fleet's
+	// worker-wide gauges (pool dials, serve-side disk reads, RPC retries,
+	// integrity faults) are folded into the Result — attributable only
+	// when no other job shares the workers.
+	Exclusive bool
+	// OnEvent, when non-nil, observes this job's task events (in addition
+	// to the fleet's OnEvent). It must not call back into the fleet.
+	OnEvent func(Event)
+}
+
+func (s JobSpec) normalized() JobSpec {
+	if s.Tenant == "" {
+		s.Tenant = "default"
+	}
+	if s.Weight <= 0 {
+		s.Weight = 1
+	}
+	if s.MaxTaskAttempts <= 0 {
+		s.MaxTaskAttempts = 4
+	}
+	return s
+}
+
+// Progress is a job's task-level completion snapshot.
+type Progress struct {
+	MapsDone       int `json:"maps_done"`
+	MapsTotal      int `json:"maps_total"`
+	FetchesDone    int `json:"fetches_done"`
+	FetchesTotal   int `json:"fetches_total"`
+	ReducesDone    int `json:"reduces_done"`
+	ReducesTotal   int `json:"reduces_total"`
+	TasksDone      int `json:"tasks_done"`
+	TasksTotal     int `json:"tasks_total"`
+	FailedAttempts int `json:"failed_attempts"`
+}
+
+// JobHandle tracks one submitted job.
+type JobHandle struct {
+	id   int
+	j    *jobRun
+	done chan struct{}
+	res  *mr.Result
+	err  error
+}
+
+// ID is the fleet-assigned job id (also the job's workspace name on
+// workers: "j%06d").
+func (h *JobHandle) ID() int { return h.id }
+
+// Done is closed when the job finishes (either way).
+func (h *JobHandle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the job finishes and returns its result.
+func (h *JobHandle) Wait(ctx context.Context) (*mr.Result, error) {
+	select {
+	case <-h.done:
+		return h.res, h.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Progress reports the job's current task completion.
+func (h *JobHandle) Progress() Progress { return h.j.progress() }
+
+// Submit registers a job with the fleet and starts running it under
+// ctx; cancelling ctx cancels the job (running attempts are revoked on
+// workers via heartbeat). The job starts as soon as workers are
+// available — Submit itself never blocks on fleet capacity.
+func (f *Fleet) Submit(ctx context.Context, spec JobSpec) (*JobHandle, error) {
+	spec = spec.normalized()
+	job, splits, err := BuildJob(spec.Ref)
+	if err != nil {
+		return nil, err
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("cluster: job %q built zero splits", spec.Ref.Name)
+	}
+	nRed := job.NumReduceTasks
+	if nRed <= 0 {
+		nRed = 4 // mirror mr's normalization default
+	}
+	f.mu.Lock()
+	if f.shutdown {
+		f.mu.Unlock()
+		return nil, errors.New("cluster: fleet is shutting down")
+	}
+	id := f.nextJob
+	f.nextJob++
+	j := &jobRun{
+		id: id, spec: spec, fleet: f, weight: spec.Weight,
+		nMap: len(splits), nRed: nRed,
+		meta:     make(map[string]taskMeta),
+		partHome: make(map[int]int),
+		doneTask: make(map[string]bool),
+	}
+	f.jobs[id] = j
+	width := f.totalSlotsLocked()
+	f.mu.Unlock()
+
+	h := &JobHandle{id: id, j: j, done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		h.res, h.err = j.run(ctx, width)
+		f.finishJob(j)
+	}()
+	return h, nil
+}
+
+type taskMeta struct {
+	group     string
+	mapTask   int
+	partition int
+	mapIndex  int
+}
+
+// jobRun is one job's private half of the runtime: its task graph and
+// metadata, partition homes, progress counters, and result assembly.
+// It implements sched.Executor — the job's own scheduler calls Execute,
+// which queues a lease with the fleet and blocks for the report.
+// partHome and enqueue/dispatch state are guarded by the fleet's mutex;
+// progress counters by the job's own.
+type jobRun struct {
+	id     int
+	spec   JobSpec
+	fleet  *Fleet
+	weight int
+	nMap   int
+	nRed   int
+	meta   map[string]taskMeta
+
+	partHome map[int]int // reduce partition -> home worker id; fleet.mu
+
+	pmu      sync.Mutex
+	doneTask map[string]bool
+	failed   int
+}
+
+func (j *jobRun) progress() Progress {
+	j.pmu.Lock()
+	defer j.pmu.Unlock()
+	p := Progress{
+		MapsTotal: j.nMap, FetchesTotal: j.nMap * j.nRed, ReducesTotal: j.nRed,
+		FailedAttempts: j.failed,
+	}
+	for name := range j.doneTask {
+		switch j.meta[name].group {
+		case mr.TaskGroupMap:
+			p.MapsDone++
+		case mr.TaskGroupFetch:
+			p.FetchesDone++
+		case mr.TaskGroupReduce:
+			p.ReducesDone++
+		}
+	}
+	p.TasksDone = p.MapsDone + p.FetchesDone + p.ReducesDone
+	p.TasksTotal = p.MapsTotal + p.FetchesTotal + p.ReducesTotal
+	return p
+}
+
+func (j *jobRun) event(e Event) {
+	j.fleet.event(e)
+	if j.spec.OnEvent != nil {
+		j.spec.OnEvent(e)
+	}
+}
+
+// run executes the job's task graph through the fleet and assembles an
+// mr.Result whose output is byte-identical to a single-process run of
+// the same job — MeasuredShuffle additionally records the real network
+// transfer.
+func (j *jobRun) run(ctx context.Context, width int) (*mr.Result, error) {
+	start := time.Now()
+	tracer := j.fleet.cfg.Tracer
+	jobSpan := tracer.Start(obs.KindJob, j.spec.Ref.Name+" (cluster)",
+		obs.Int("job", int64(j.id)),
+		obs.Int("splits", int64(j.nMap)), obs.Int("reducers", int64(j.nRed)))
+
+	tasks := j.buildTasks()
+	if !j.spec.Exclusive {
+		// Expose every runnable task to the fleet so fair share picks
+		// among all jobs' work; the fleet's slot count, not the
+		// scheduler's worker bound, is the real concurrency limit.
+		width = len(tasks)
+	}
+	cfg := sched.Config{
+		Workers:     width,
+		MaxAttempts: j.spec.MaxTaskAttempts,
+		Speculate:   j.spec.Speculative,
+		Tracer:      tracer,
+		Executor:    j,
+		Retryable: func(err error) bool {
+			var te *taskError
+			return errors.As(err, &te) && te.Transient
+		},
+	}
+	report, err := sched.Run(ctx, tasks, cfg)
+	if err != nil {
+		jobSpan.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
+		return nil, err
+	}
+	res := j.assemble(report, start)
+	jobSpan.End(obs.Str("outcome", "success"),
+		obs.Int("measured_shuffle_bytes", res.MeasuredShuffle.Bytes))
+	return res, nil
+}
+
+// buildTasks lays out the same DAG as the in-process pipelined
+// scheduler — map/i → fetch/p/i → reduce/p — with nil Run closures, so
+// every attempt dispatches through Execute.
+func (j *jobRun) buildTasks() []sched.Task {
+	tasks := make([]sched.Task, 0, j.nMap+j.nMap*j.nRed+j.nRed)
+	for i := 0; i < j.nMap; i++ {
+		name := mr.MapTaskName(i)
+		j.meta[name] = taskMeta{group: mr.TaskGroupMap, mapTask: i}
+		tasks = append(tasks, sched.Task{
+			Name: name, Group: mr.TaskGroupMap, Speculatable: j.spec.Speculative,
+		})
+	}
+	for p := 0; p < j.nRed; p++ {
+		for i := 0; i < j.nMap; i++ {
+			name := mr.FetchTaskName(p, i)
+			j.meta[name] = taskMeta{group: mr.TaskGroupFetch, partition: p, mapIndex: i}
+			tasks = append(tasks, sched.Task{
+				Name: name, Group: mr.TaskGroupFetch, Deps: []string{mr.MapTaskName(i)},
+			})
+		}
+	}
+	for p := 0; p < j.nRed; p++ {
+		name := mr.ReduceTaskName(p)
+		j.meta[name] = taskMeta{group: mr.TaskGroupReduce, partition: p}
+		deps := make([]string, j.nMap)
+		for i := range deps {
+			deps[i] = mr.FetchTaskName(p, i)
+		}
+		tasks = append(tasks, sched.Task{Name: name, Group: mr.TaskGroupReduce, Deps: deps})
+	}
+	return tasks
+}
+
+// Committed task values. Stats ride inside them so only winning
+// attempts contribute to job stats (a speculative loser's snapshot is
+// discarded with its value).
+type mapValue struct {
+	worker int
+	addr   string
+	segs   []SegInfo
+	stats  mr.Stats
+	dur    time.Duration
+}
+
+type fetchValue struct {
+	worker    int
+	segs      []SegInfo
+	flow      int64
+	fetchTime time.Duration
+	fetches   int
+	stats     mr.Stats
+}
+
+type reduceValue struct {
+	worker int
+	recs   []mr.Record
+	stats  mr.Stats
+	dur    time.Duration
+}
+
+// Execute implements sched.Executor: queue the task as a lease with the
+// fleet (pinned to the partition home for fetch and reduce tasks),
+// block for the worker's report (or cancellation), and translate the
+// outcome into the scheduler's vocabulary — including DepLostError when
+// committed upstream output turns out to live on a dead worker.
+func (j *jobRun) Execute(ctx context.Context, task *sched.Task, tc *sched.TaskContext) (any, error) {
+	f := j.fleet
+	meta := j.meta[task.Name]
+	lease := TaskLease{JobID: j.id, Task: task.Name, Group: task.Group, Attempt: tc.Attempt}
+	pin := -1
+
+	f.mu.Lock()
+	if f.shutdown {
+		f.mu.Unlock()
+		return nil, &taskError{Msg: "cluster: fleet is shutting down", Transient: false}
+	}
+	switch meta.group {
+	case mr.TaskGroupMap:
+		lease.MapTask = meta.mapTask // any worker may take it
+
+	case mr.TaskGroupFetch:
+		mv, ok := tc.Dep(mr.MapTaskName(meta.mapIndex)).(mapValue)
+		if !ok {
+			f.mu.Unlock()
+			return nil, fmt.Errorf("cluster: fetch %s missing map value", task.Name)
+		}
+		if src := f.workers[mv.worker]; src == nil || src.dead {
+			f.mu.Unlock()
+			return nil, &sched.DepLostError{
+				Deps: []string{mr.MapTaskName(meta.mapIndex)},
+				Err:  fmt.Errorf("cluster: worker %d holding map output is dead", mv.worker),
+			}
+		}
+		lease.Partition = meta.partition
+		lease.MapIndex = meta.mapIndex
+		for _, s := range mv.segs {
+			if s.Partition == meta.partition {
+				lease.Sources = append(lease.Sources, s)
+			}
+		}
+		home := j.homeLocked(meta.partition)
+		if home == nil {
+			f.mu.Unlock()
+			return nil, &taskError{Msg: "cluster: no live workers", Transient: true}
+		}
+		if len(lease.Sources) == 0 {
+			// Nothing to move for this (partition, map) pair: commit an
+			// empty fetch value on the home worker without a round trip.
+			id := home.id
+			f.mu.Unlock()
+			return fetchValue{worker: id}, nil
+		}
+		pin = home.id
+
+	case mr.TaskGroupReduce:
+		home, lost, locals, localTasks := j.reduceInputsLocked(meta.partition, tc)
+		if len(lost) > 0 {
+			f.mu.Unlock()
+			return nil, &sched.DepLostError{
+				Deps: lost,
+				Err:  fmt.Errorf("cluster: partition %d inputs scattered or on dead workers", meta.partition),
+			}
+		}
+		if home == nil {
+			f.mu.Unlock()
+			return nil, &taskError{Msg: "cluster: no live workers", Transient: true}
+		}
+		lease.Partition = meta.partition
+		lease.Locals = locals
+		lease.LocalTasks = localTasks
+		pin = home.id
+	}
+
+	key := AttemptID{Job: j.id, Task: task.Name, Attempt: tc.Attempt}
+	pend := &pendingLease{job: j, worker: -1, ch: make(chan *ReportArgs, 1)}
+	ql := &queuedLease{job: j, lease: lease, pin: pin, pend: pend, seq: f.seq}
+	f.seq++
+	pend.ql = ql
+	f.pending[key] = pend
+	f.enqueueLocked(ql)
+	f.mu.Unlock()
+
+	select {
+	case rep := <-pend.ch:
+		return j.settle(task, pend, rep)
+	case <-ctx.Done():
+		// Revoke: a granted lease is aborted by its worker on the next
+		// heartbeat; a queued one is simply pruned.
+		f.dropLease(key, pend)
+		return nil, ctx.Err()
+	}
+}
+
+// homeLocked returns partition p's home worker, electing a new one if
+// none is assigned or the previous home died or drained. All of a
+// partition's fetch and reduce leases go to its home, so reduce inputs
+// are local. Election is least-loaded across live workers.
+func (j *jobRun) homeLocked(p int) *workerState {
+	f := j.fleet
+	if id, ok := j.partHome[p]; ok {
+		if w := f.workers[id]; w != nil && !w.dead && !w.draining {
+			return w
+		}
+	}
+	var best *workerState
+	for _, w := range f.workers {
+		if w.dead || w.draining {
+			continue
+		}
+		if best == nil || w.outstanding < best.outstanding ||
+			(w.outstanding == best.outstanding && w.id < best.id) {
+			best = w
+		}
+	}
+	if best != nil {
+		j.partHome[p] = best.id
+	}
+	return best
+}
+
+// reduceInputsLocked validates that every fetch value for partition p
+// is local to the partition's current live home, returning the lost
+// fetch task names otherwise.
+func (j *jobRun) reduceInputsLocked(p int, tc *sched.TaskContext) (home *workerState, lost []string, locals []SegInfo, localTasks []string) {
+	f := j.fleet
+	if id, ok := j.partHome[p]; ok {
+		if w := f.workers[id]; w != nil && !w.dead && !w.draining {
+			home = w
+		}
+	}
+	for i := 0; i < j.nMap; i++ {
+		name := mr.FetchTaskName(p, i)
+		fv, ok := tc.Dep(name).(fetchValue)
+		if !ok {
+			lost = append(lost, name)
+			continue
+		}
+		if home == nil || fv.worker != home.id {
+			lost = append(lost, name)
+			continue
+		}
+		for _, s := range fv.segs {
+			locals = append(locals, s)
+			localTasks = append(localTasks, name)
+		}
+	}
+	return home, lost, locals, localTasks
+}
+
+// settle turns a worker's report into Execute's return value.
+func (j *jobRun) settle(task *sched.Task, pend *pendingLease, rep *ReportArgs) (any, error) {
+	f := j.fleet
+	now := time.Now()
+	if f.cfg.Tracer != nil && !pend.granted.IsZero() {
+		f.cfg.Tracer.Record(obs.KindLease, task.Name, pend.granted, now,
+			obs.Int("job", int64(j.id)), obs.Int("worker", int64(rep.WorkerID)),
+			obs.Str("group", task.Group), obs.Bool("ok", rep.Errmsg == ""))
+	}
+	if rep.Errmsg != "" {
+		f.noteUnreachable(rep.Unreachable)
+		j.pmu.Lock()
+		j.failed++
+		j.pmu.Unlock()
+		j.event(Event{Kind: "task-failed", Worker: rep.WorkerID, Job: j.id,
+			Task: task.Name, Attempt: rep.Attempt, Detail: rep.Errmsg})
+		if len(rep.LostDeps) > 0 {
+			return nil, &sched.DepLostError{Deps: rep.LostDeps, Err: errors.New(rep.Errmsg)}
+		}
+		return nil, &taskError{Msg: rep.Errmsg, Transient: rep.Transient}
+	}
+	j.pmu.Lock()
+	j.doneTask[task.Name] = true
+	j.pmu.Unlock()
+	j.event(Event{Kind: "task-done", Worker: rep.WorkerID, Job: j.id,
+		Task: task.Name, Attempt: rep.Attempt})
+	switch task.Group {
+	case mr.TaskGroupMap:
+		var addr string
+		f.mu.Lock()
+		if w := f.workers[rep.WorkerID]; w != nil {
+			addr = w.dataAddr
+		}
+		f.mu.Unlock()
+		return mapValue{
+			worker: rep.WorkerID, addr: addr, segs: rep.Segs,
+			stats: rep.Stats, dur: time.Duration(rep.DurNs),
+		}, nil
+	case mr.TaskGroupFetch:
+		return fetchValue{
+			worker: rep.WorkerID, segs: rep.Segs, flow: rep.FlowBytes,
+			fetchTime: time.Duration(rep.FetchNs), fetches: rep.Fetches,
+			stats: rep.Stats,
+		}, nil
+	default:
+		return reduceValue{
+			worker: rep.WorkerID, recs: rep.Records,
+			stats: rep.Stats, dur: time.Duration(rep.DurNs),
+		}, nil
+	}
+}
+
+// assemble builds the job Result from committed task values.
+func (j *jobRun) assemble(report *sched.Report, start time.Time) *mr.Result {
+	res := &mr.Result{
+		Output:              make([][]mr.Record, j.nRed),
+		ShufflePerPartition: make([]int64, j.nRed),
+		ReduceTaskTimes:     make([]time.Duration, j.nRed),
+		MapTaskTimes:        make([]time.Duration, j.nMap),
+		Timeline:            report.Attempts,
+	}
+	var stats mr.Stats
+	meas := &mr.ShuffleMeasurement{}
+	for i := 0; i < j.nMap; i++ {
+		mv := report.Value(mr.MapTaskName(i)).(mapValue)
+		stats.Accumulate(mv.stats)
+		res.MapTaskTimes[i] = mv.dur
+	}
+	for p := 0; p < j.nRed; p++ {
+		for i := 0; i < j.nMap; i++ {
+			fv := report.Value(mr.FetchTaskName(p, i)).(fetchValue)
+			stats.Accumulate(fv.stats)
+			res.ShufflePerPartition[p] += fv.flow
+			meas.Bytes += fv.flow
+			meas.FetchTime += fv.fetchTime
+			meas.Fetches += fv.fetches
+		}
+		rv := report.Value(mr.ReduceTaskName(p)).(reduceValue)
+		stats.Accumulate(rv.stats)
+		res.Output[p] = rv.recs
+		res.ReduceTaskTimes[p] = rv.dur
+	}
+	if s, e, ok := sched.Span(report.Attempts, mr.TaskGroupFetch); ok {
+		meas.Extent = e.Sub(s)
+	}
+	// Worker-wide gauges (pool dials, serve-side disk reads, RPC
+	// retries, integrity faults) are fleet-scoped: a worker serves many
+	// jobs, so only an Exclusive job can claim them in its Result.
+	if j.spec.Exclusive {
+		f := j.fleet
+		f.mu.Lock()
+		var rpcRetries, integrity int64
+		for _, w := range f.workers {
+			meas.Dials += w.lastDials
+			// Serve-side reads happen on the producing worker's disk,
+			// outside any attempt's metered view; fold the gauge in.
+			stats.DiskReadBytes += w.lastServed
+			rpcRetries += w.lastRPCRetries
+			integrity += w.lastIntegrity
+		}
+		f.mu.Unlock()
+		if rpcRetries > 0 || integrity > 0 {
+			if stats.Extra == nil {
+				stats.Extra = make(map[string]int64, 2)
+			}
+			if rpcRetries > 0 {
+				stats.Extra[CounterRPCRetries] += rpcRetries
+			}
+			if integrity > 0 {
+				stats.Extra[mr.CounterFetchIntegrity] += integrity
+			}
+		}
+	}
+	stats.WallTime = time.Since(start)
+	res.Stats = stats
+	res.MeasuredShuffle = meas
+	return res
+}

@@ -1,13 +1,20 @@
-// Package cluster is the multi-process MapReduce runtime: a
-// coordinator process owns the task graph and leases map/fetch/reduce
-// tasks over TCP RPC to worker processes, which execute them against
-// the internal/mr task code and serve their map-output segments to
-// peers through mr.SegmentServer. The coordinator reuses internal/
-// sched's event loop — retries, backoff, speculative execution — by
-// implementing sched.Executor, and recovers from worker death by
-// re-executing map tasks whose segments became unfetchable
-// (sched.DepLostError), the way Hadoop re-runs completed maps when a
-// tasktracker is lost.
+// Package cluster is the multi-process MapReduce runtime: a Fleet owns
+// one pool of worker processes and runs many jobs over it concurrently.
+// Workers register once, heartbeat, long-poll for task leases, execute
+// map/fetch/reduce attempts against the internal/mr task code, and
+// serve their map-output segments to peers through mr.SegmentServer.
+// Each job keeps its own task graph, placement, and stats (a jobRun
+// implementing sched.Executor, so internal/sched's retries, backoff,
+// speculation, and DepLostError re-execution all apply per job), while
+// the fleet arbitrates task leases across jobs with per-tenant
+// weighted fair share. Worker death is recovered the way Hadoop
+// re-runs completed maps when a tasktracker is lost; workers can also
+// leave gracefully (drain: finish in-flight attempts, deregister) and
+// join at any time, so the fleet resizes under load.
+//
+// The single-job Coordinator API (New/Run) is kept as a thin wrapper —
+// one fleet, one exclusive job — for antibench, the chaos harness, and
+// anything else that wants the classic one-shot shape.
 package cluster
 
 import (
@@ -24,8 +31,9 @@ type JobRef struct {
 	Spec []byte
 }
 
-// AttemptID identifies one attempt of one task.
+// AttemptID identifies one attempt of one task of one job.
 type AttemptID struct {
+	Job     int
 	Task    string
 	Attempt int
 }
@@ -41,33 +49,52 @@ type SegInfo struct {
 	RawBytes  int64
 }
 
-// RegisterArgs / RegisterReply: a worker joins the cluster. The reply
-// carries the job reference so the worker can build its executable
-// form, plus the heartbeat interval it must honor.
+// RegisterArgs / RegisterReply: a worker joins the fleet. Job specs are
+// not part of registration any more — leases carry a JobID and workers
+// fetch (and cache) each job's build reference on first contact, so one
+// registration serves many jobs over the worker's lifetime.
 type RegisterArgs struct {
 	DataAddr string // the worker's segment-server address
 	Slots    int    // concurrent task slots offered
 }
 
 type RegisterReply struct {
-	WorkerID        int
-	Job             JobRef
-	HeartbeatEvery  time.Duration
+	WorkerID       int
+	HeartbeatEvery time.Duration
+}
+
+// GetJobArgs / GetJobReply: a worker resolves a lease's JobID into the
+// job's registry reference and per-job execution knobs.
+type GetJobArgs struct {
+	JobID int
+}
+
+type GetJobReply struct {
+	Ref JobRef
+	// MaxTaskAttempts shapes task behavior (reduce merges keep their
+	// inputs when retries are possible); workers mirror the job's.
 	MaxTaskAttempts int
 }
 
-// HeartbeatArgs / HeartbeatReply: liveness plus the cancellation
-// back-channel — the coordinator piggybacks attempts to abort (lost
-// speculative races, failed jobs) on heartbeat replies.
+// HeartbeatArgs / HeartbeatReply: liveness plus the fleet's worker-bound
+// back-channels — attempt cancellations (lost speculative races,
+// cancelled jobs), finished-job cleanup announcements, and
+// fleet-initiated drain requests all piggyback on heartbeat replies.
 type HeartbeatArgs struct {
 	WorkerID int
 }
 
 type HeartbeatReply struct {
-	// Shutdown tells the worker to exit (job done, or the coordinator
+	// Shutdown tells the worker to exit (fleet closed, or the fleet
 	// declared it dead and a revival would corrupt placement).
 	Shutdown bool
-	Cancel   []AttemptID
+	// Drain asks the worker to drain gracefully: stop taking leases,
+	// finish (or hand back) what it is running, deregister, exit.
+	Drain  bool
+	Cancel []AttemptID
+	// Cleanup lists job IDs that finished: the worker may delete every
+	// local file in those jobs' workspaces and drop its cached builds.
+	Cleanup []int
 }
 
 // LeaseArgs / LeaseReply: workers long-poll for task leases.
@@ -77,13 +104,17 @@ type LeaseArgs struct {
 
 type LeaseReply struct {
 	Shutdown bool
-	Idle     bool // poll timed out; ask again
-	Granted  bool
-	Lease    TaskLease
+	// Drain mirrors HeartbeatReply.Drain so a draining worker parked in
+	// a lease long-poll learns immediately instead of on its next beat.
+	Drain   bool
+	Idle    bool // poll timed out; ask again
+	Granted bool
+	Lease   TaskLease
 }
 
-// TaskLease is one task attempt assigned to a worker.
+// TaskLease is one task attempt of one job assigned to a worker.
 type TaskLease struct {
+	JobID   int
 	Task    string
 	Group   string // mr.TaskGroupMap / Fetch / Reduce
 	Attempt int
@@ -98,7 +129,7 @@ type TaskLease struct {
 	MapIndex  int
 	Sources   []SegInfo
 
-	// Reduce leases: merge Locals, which the coordinator placed on this
+	// Reduce leases: merge Locals, which the fleet placed on this
 	// worker via earlier fetch leases. LocalTasks names the fetch task
 	// that produced each Locals entry, so a missing file can be reported
 	// as that task's lost output.
@@ -106,9 +137,10 @@ type TaskLease struct {
 	LocalTasks []string
 }
 
-// ReportArgs delivers an attempt's outcome back to the coordinator.
+// ReportArgs delivers an attempt's outcome back to the fleet.
 type ReportArgs struct {
 	WorkerID int
+	JobID    int
 	Task     string
 	Attempt  int
 
@@ -134,12 +166,14 @@ type ReportArgs struct {
 	DurNs int64
 
 	// Cumulative per-worker gauges, reported on every report so the
-	// coordinator's last observation is current: connection-pool dials,
+	// fleet's last observation is current: connection-pool dials,
 	// serve-side disk bytes read by the segment server, control-plane
 	// RPC retries spent by this worker, and fetches that failed checksum
 	// verification. The last two ride as gauges, not attempt stats,
 	// because the attempts that produce them fail — and failed attempts'
-	// stats are (rightly) discarded.
+	// stats are (rightly) discarded. Gauges are fleet-wide (a worker
+	// serves many jobs), so only an Exclusive job folds them into its
+	// Result.
 	PoolDials       int64
 	ServedBytes     int64
 	RPCRetries      int64
@@ -147,3 +181,22 @@ type ReportArgs struct {
 }
 
 type ReportReply struct{}
+
+// DrainArgs / DrainReply: a worker announces it is draining (SIGTERM):
+// the fleet stops granting it leases and re-places anything still
+// queued for it. The worker finishes or hands back running attempts,
+// then calls Deregister.
+type DrainArgs struct {
+	WorkerID int
+}
+
+type DrainReply struct{}
+
+// DeregisterArgs / DeregisterReply: a drained worker leaves the fleet.
+// Map output it served dies with it; jobs that still need those
+// segments recover through the existing DepLostError re-execution path.
+type DeregisterArgs struct {
+	WorkerID int
+}
+
+type DeregisterReply struct{}

@@ -40,3 +40,17 @@ func BuildJob(ref JobRef) (*mr.Job, []mr.Split, error) {
 	}
 	return build(ref.Spec)
 }
+
+// ValidateJob checks that a JobRef builds a runnable job (registered
+// name, spec the builder accepts, at least one split) without running
+// it — admission-time validation for job services.
+func ValidateJob(ref JobRef) error {
+	_, splits, err := BuildJob(ref)
+	if err != nil {
+		return err
+	}
+	if len(splits) == 0 {
+		return fmt.Errorf("cluster: job %q built zero splits", ref.Name)
+	}
+	return nil
+}

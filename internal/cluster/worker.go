@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,12 +19,15 @@ import (
 // WorkerOptions configures one worker process (or in-process worker
 // goroutine, which tests use to avoid subprocess overhead).
 type WorkerOptions struct {
-	// Coordinator is the coordinator's RPC address.
+	// Coordinator is the fleet's RPC address.
 	Coordinator string
 	// Slots is the number of concurrent task slots (default GOMAXPROCS).
 	Slots int
 	// FS is the worker's task filesystem (default an in-memory FS; a
 	// real deployment would hand each worker its own scratch OSFS).
+	// Every job's files live under that job's workspace prefix
+	// ("j%06d/..."), so many jobs share one FS without collisions and
+	// per-job cleanup is a single prefix sweep.
 	FS iokit.FS
 	// DataAddr is the segment-server bind address (default loopback).
 	DataAddr string
@@ -31,22 +35,37 @@ type WorkerOptions struct {
 	// listener — the chaos harness's injection point for connection
 	// drops, stalls, truncations, and bit-flips.
 	WrapListener func(net.Listener) net.Listener
-	// RPCTimeout bounds each control-plane call to the coordinator
-	// (default 2s). Calls that exceed it are retried with jittered
-	// backoff on a fresh connection, so a wedged coordinator cannot
-	// block a worker forever.
+	// RPCTimeout bounds each control-plane call to the fleet (default
+	// 2s). Calls that exceed it are retried with jittered backoff on a
+	// fresh connection, so a wedged fleet cannot block a worker forever.
 	RPCTimeout time.Duration
+	// Drain, when non-nil, triggers a graceful drain when it becomes
+	// receivable (typically: closed by a SIGTERM handler). The worker
+	// announces the drain to the fleet, takes no further leases,
+	// finishes what it is running, deregisters, and returns nil.
+	Drain <-chan struct{}
+	// DrainTimeout bounds how long a draining worker lets running
+	// attempts finish before force-cancelling them; cancelled attempts
+	// are handed back to the fleet as transient failures and re-placed
+	// elsewhere (default 30s).
+	DrainTimeout time.Duration
 }
 
-// RunWorker joins the cluster at opts.Coordinator and serves task
-// leases until told to shut down (job finished), the context is
-// cancelled, or the coordinator becomes unreachable. Map output is
-// produced into the worker's own filesystem and served to peers via
-// mr.SegmentServer; fetch leases pull peer segments through a shared
-// mr.ConnPool.
+// RunWorker joins the fleet at opts.Coordinator and serves task leases
+// — across every job the fleet runs — until told to shut down, told to
+// drain, the context is cancelled, or the fleet becomes unreachable.
+// Map output is produced into the worker's own filesystem and served
+// to peers via mr.SegmentServer; fetch leases pull peer segments
+// through a shared mr.ConnPool. Job build specs are resolved through
+// Cluster.GetJob on first contact and cached until the fleet announces
+// the job finished (heartbeat Cleanup), at which point the job's
+// workspace files are deleted.
 func RunWorker(ctx context.Context, opts WorkerOptions) error {
 	if opts.Slots <= 0 {
 		opts.Slots = runtime.GOMAXPROCS(0)
+	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = 30 * time.Second
 	}
 	fs := opts.FS
 	if fs == nil {
@@ -77,29 +96,61 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 	if err := client.Call(ctx, "Cluster.Register", &RegisterArgs{DataAddr: srv.Addr(), Slots: opts.Slots}, &reg); err != nil {
 		return fmt.Errorf("cluster: registering: %w", err)
 	}
-	job, splits, err := BuildJob(reg.Job)
-	if err != nil {
-		return fmt.Errorf("cluster: building job: %w", err)
-	}
-	// The attempt budget shapes task behavior (reduce merges keep their
-	// inputs when retries are possible); mirror the coordinator's.
-	job.MaxTaskAttempts = reg.MaxTaskAttempts
 	hbEvery := reg.HeartbeatEvery
 	if hbEvery <= 0 {
 		hbEvery = 50 * time.Millisecond
 	}
 
 	w := &worker{
-		id: reg.WorkerID, job: job, splits: splits,
+		id: reg.WorkerID,
 		fs: fs, pool: pool, srv: srv, serveMeter: serveMeter,
 		client:  client,
+		jobs:    make(map[int]*workerJob),
 		running: make(map[AttemptID]context.CancelFunc),
 	}
 
+	// Two cancellation scopes: ctx is the hard one (crash semantics —
+	// running attempts die, nothing further is reported); pollCtx stops
+	// only lease polling, which is how a drain lets running attempts
+	// finish and report while no new work arrives.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	pollCtx, stopPolls := context.WithCancel(ctx)
+	defer stopPolls()
 
-	// Heartbeat loop: liveness out, cancellations in.
+	var drainOnce sync.Once
+	startDrain := func() {
+		drainOnce.Do(func() {
+			go func() {
+				var dr DrainReply
+				// Announce first so the fleet re-places queued leases; a
+				// failed announcement still drains locally (the fleet will
+				// notice via Deregister or missed heartbeats).
+				client.Call(ctx, "Cluster.Drain", &DrainArgs{WorkerID: w.id}, &dr)
+				stopPolls()
+				select {
+				case <-time.After(opts.DrainTimeout):
+					w.drainKill.Store(true)
+					w.cancelAll()
+				case <-ctx.Done():
+				}
+			}()
+		})
+	}
+	if opts.Drain != nil {
+		go func() {
+			select {
+			case <-opts.Drain:
+				startDrain()
+			case <-ctx.Done():
+			}
+		}()
+	}
+
+	// Heartbeat loop: liveness out; cancellations, drain requests, and
+	// finished-job cleanup announcements in. It keeps beating through a
+	// drain so the fleet doesn't declare the worker dead while running
+	// attempts finish.
 	go func() {
 		t := time.NewTicker(hbEvery)
 		defer t.Stop()
@@ -111,15 +162,21 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 			}
 			var hb HeartbeatReply
 			if err := client.Call(ctx, "Cluster.Heartbeat", &HeartbeatArgs{WorkerID: w.id}, &hb); err != nil {
-				cancel() // coordinator gone (deadline + retries exhausted)
+				cancel() // fleet gone (deadline + retries exhausted)
 				return
 			}
 			if hb.Shutdown {
 				cancel()
 				return
 			}
+			if hb.Drain {
+				startDrain()
+			}
 			for _, aid := range hb.Cancel {
 				w.cancelAttempt(aid)
+			}
+			for _, jobID := range hb.Cleanup {
+				w.cleanupJob(jobID)
 			}
 		}
 	}()
@@ -129,14 +186,22 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ctx.Err() == nil {
+			for pollCtx.Err() == nil {
 				var lr LeaseReply
-				if err := client.Call(ctx, "Cluster.Lease", &LeaseArgs{WorkerID: w.id}, &lr); err != nil {
+				if err := client.Call(pollCtx, "Cluster.Lease", &LeaseArgs{WorkerID: w.id}, &lr); err != nil {
+					if pollCtx.Err() != nil && ctx.Err() == nil {
+						return // drain stopped polling mid-call
+					}
 					cancel()
 					return
 				}
 				if lr.Shutdown {
 					cancel()
+					return
+				}
+				if lr.Drain {
+					startDrain()
+					<-pollCtx.Done()
 					return
 				}
 				if !lr.Granted {
@@ -145,9 +210,9 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 				rep := w.runLease(ctx, lr.Lease)
 				if ctx.Err() != nil {
 					// A crashed or shut-down worker never reports: the attempt
-					// died with the process, and the coordinator must discover
-					// that through missed heartbeats, not a parting message
-					// a real crash could not have sent.
+					// died with the process, and the fleet must discover that
+					// through missed heartbeats, not a parting message a real
+					// crash could not have sent.
 					cancel()
 					return
 				}
@@ -159,26 +224,121 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 		}()
 	}
 	wg.Wait()
+
+	// A drained worker (polls stopped, process alive) leaves cleanly:
+	// its departure is a deliberate deregistration, not a crash.
+	if ctx.Err() == nil {
+		var dr DeregisterReply
+		client.Call(ctx, "Cluster.Deregister", &DeregisterArgs{WorkerID: w.id}, &dr)
+	}
 	return nil
+}
+
+// workerJob is one job's cached build on a worker.
+type workerJob struct {
+	job    *mr.Job
+	splits []mr.Split
 }
 
 type worker struct {
 	id         int
-	job        *mr.Job
-	splits     []mr.Split
 	fs         iokit.FS
 	pool       *mr.ConnPool
 	srv        *mr.SegmentServer
 	serveMeter *iokit.Meter
 	client     *rpcClient
 	integrity  atomic.Int64 // fetches failed by checksum, across attempts
+	drainKill  atomic.Bool  // drain timeout fired; cancellations are hand-backs
 
 	mu      sync.Mutex
+	jobs    map[int]*workerJob
 	running map[AttemptID]context.CancelFunc
 }
 
+// getJob resolves a lease's JobID into the job's build, caching it for
+// the job's lifetime on this worker. The build is rooted in the job's
+// workspace ("j%06d") so concurrent jobs' files stay disjoint.
+func (w *worker) getJob(ctx context.Context, id int) (*workerJob, error) {
+	w.mu.Lock()
+	wj := w.jobs[id]
+	w.mu.Unlock()
+	if wj != nil {
+		return wj, nil
+	}
+	var gr GetJobReply
+	if err := w.client.Call(ctx, "Cluster.GetJob", &GetJobArgs{JobID: id}, &gr); err != nil {
+		return nil, fmt.Errorf("cluster: resolving job %d: %w", id, err)
+	}
+	job, splits, err := BuildJob(gr.Ref)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building job %d: %w", id, err)
+	}
+	// The attempt budget shapes task behavior (reduce merges keep their
+	// inputs when retries are possible); mirror the fleet's.
+	job.MaxTaskAttempts = gr.MaxTaskAttempts
+	job.Workspace = jobWorkspace(id)
+	wj = &workerJob{job: job, splits: splits}
+	w.mu.Lock()
+	if have := w.jobs[id]; have != nil {
+		wj = have // lost a build race; keep the first
+	} else {
+		w.jobs[id] = wj
+	}
+	w.mu.Unlock()
+	return wj, nil
+}
+
+// jobWorkspace is the file-name prefix under which all of a job's
+// files live on every worker.
+func jobWorkspace(id int) string { return fmt.Sprintf("j%06d", id) }
+
+// cleanupJob retires a finished job: cancel any straggling attempts
+// (their leases were already dropped fleet-side), drop the cached
+// build, then sweep the job's workspace files once those attempts have
+// actually stopped — a cancelled attempt may still be mid-write, and a
+// sweep racing it would leave orphans. The wait happens off the
+// heartbeat loop so liveness is never blocked on a slow attempt.
+func (w *worker) cleanupJob(id int) {
+	w.mu.Lock()
+	for aid, cancel := range w.running {
+		if aid.Job == id {
+			cancel()
+		}
+	}
+	delete(w.jobs, id)
+	w.mu.Unlock()
+	go func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			w.mu.Lock()
+			busy := false
+			for aid := range w.running {
+				if aid.Job == id {
+					busy = true
+					break
+				}
+			}
+			w.mu.Unlock()
+			if !busy || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		prefix := jobWorkspace(id) + "/"
+		names, err := w.fs.List()
+		if err != nil {
+			return
+		}
+		for _, name := range names {
+			if strings.HasPrefix(name, prefix) {
+				w.fs.Remove(name)
+			}
+		}
+	}()
+}
+
 // report delivers an attempt report, stamping the worker's cumulative
-// gauges last so the coordinator's view is current: RPC retries spent
+// gauges last so the fleet's view is current: RPC retries spent
 // (including on this report's predecessors) and checksum-failed
 // fetches, which live on failed attempts whose stats are discarded.
 func (w *worker) report(ctx context.Context, rep *ReportArgs) error {
@@ -197,12 +357,31 @@ func (w *worker) cancelAttempt(aid AttemptID) {
 	}
 }
 
+// cancelAll revokes every running attempt (drain timeout).
+func (w *worker) cancelAll() {
+	w.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(w.running))
+	for _, cancel := range w.running {
+		cancels = append(cancels, cancel)
+	}
+	w.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+}
+
 // runLease executes one task attempt and builds its report. All
-// failures are reported rather than returned: the coordinator owns
-// retry policy.
+// failures are reported rather than returned: the fleet owns retry
+// policy.
 func (w *worker) runLease(ctx context.Context, l TaskLease) *ReportArgs {
-	rep := &ReportArgs{WorkerID: w.id, Task: l.Task, Attempt: l.Attempt}
-	aid := AttemptID{Task: l.Task, Attempt: l.Attempt}
+	rep := &ReportArgs{WorkerID: w.id, JobID: l.JobID, Task: l.Task, Attempt: l.Attempt}
+	wj, err := w.getJob(ctx, l.JobID)
+	if err != nil {
+		rep.Errmsg = err.Error()
+		rep.Transient = ctx.Err() == nil
+		return rep
+	}
+	aid := AttemptID{Job: l.JobID, Task: l.Task, Attempt: l.Attempt}
 	actx, acancel := context.WithCancel(ctx)
 	w.mu.Lock()
 	w.running[aid] = acancel
@@ -222,11 +401,15 @@ func (w *worker) runLease(ctx context.Context, l TaskLease) *ReportArgs {
 	counters.SetDiskMeter(meter)
 
 	t0 := time.Now()
-	var err error
+	err = nil
 	switch l.Group {
 	case mr.TaskGroupMap:
+		if l.MapTask < 0 || l.MapTask >= len(wj.splits) {
+			err = fmt.Errorf("cluster: job %d has no split %d", l.JobID, l.MapTask)
+			break
+		}
 		var segs []mr.SegmentInfo
-		segs, err = mr.ExecMapTask(actx, w.job, afs, counters, l.MapTask, l.Attempt, w.splits[l.MapTask])
+		segs, err = mr.ExecMapTask(actx, wj.job, afs, counters, l.MapTask, l.Attempt, wj.splits[l.MapTask])
 		for _, s := range segs {
 			rep.Segs = append(rep.Segs, SegInfo{
 				Addr: w.srv.Addr(), File: s.File, Partition: s.Partition,
@@ -235,7 +418,7 @@ func (w *worker) runLease(ctx context.Context, l TaskLease) *ReportArgs {
 		}
 
 	case mr.TaskGroupFetch:
-		err = w.runFetch(actx, l, rep, counters)
+		err = w.runFetch(actx, wj, l, rep, counters)
 		counters.AddReduceCPU(time.Since(t0)) // fetch work is reduce-phase time
 
 	case mr.TaskGroupReduce:
@@ -254,7 +437,7 @@ func (w *worker) runLease(ctx context.Context, l TaskLease) *ReportArgs {
 			rep.Errmsg = fmt.Sprintf("cluster: %d reduce input segments missing locally", len(rep.LostDeps))
 			return rep
 		}
-		rep.Records, err = mr.ExecReduceTask(actx, w.job, afs, counters, l.Partition, l.Attempt, locals)
+		rep.Records, err = mr.ExecReduceTask(actx, wj.job, afs, counters, l.Partition, l.Attempt, locals)
 	}
 
 	rep.DurNs = time.Since(t0).Nanoseconds()
@@ -263,22 +446,25 @@ func (w *worker) runLease(ctx context.Context, l TaskLease) *ReportArgs {
 	rep.ServedBytes = w.serveMeter.ReadBytes()
 	if err != nil {
 		rep.Errmsg = err.Error()
-		// Cancelled attempts are not worth retrying (the coordinator
-		// revoked them); anything else might succeed elsewhere or later.
-		rep.Transient = actx.Err() == nil
+		// Cancelled attempts are not worth retrying (the fleet revoked
+		// them) — unless the cancellation was this worker's own drain
+		// timeout handing the attempt back for another worker to run.
+		rep.Transient = actx.Err() == nil || w.drainKill.Load()
 	}
 	return rep
 }
 
 // runFetch pulls the lease's source segments from peer segment servers
 // into worker-local files — the cluster analogue of the pipelined
-// scheduler's fetch tasks, with real sockets underneath. Unless the job
-// disables checksums, every fetched byte passes through the CRC32C
-// verifier before landing on disk, so a corrupted transfer is a fetch
-// failure (feeding the coordinator's unreachable blacklist), never a
-// poisoned reduce input. A failed attempt removes every file it wrote,
-// so retries cannot leak partial segments.
-func (w *worker) runFetch(ctx context.Context, l TaskLease, rep *ReportArgs, counters *mr.Counters) error {
+// scheduler's fetch tasks, with real sockets underneath. Local names
+// live under the job's workspace so concurrent jobs sharing this
+// worker's filesystem cannot collide. Unless the job disables
+// checksums, every fetched byte passes through the CRC32C verifier
+// before landing on disk, so a corrupted transfer is a fetch failure
+// (feeding the fleet's unreachable blacklist), never a poisoned reduce
+// input. A failed attempt removes every file it wrote, so retries
+// cannot leak partial segments.
+func (w *worker) runFetch(ctx context.Context, wj *workerJob, l TaskLease, rep *ReportArgs, counters *mr.Counters) error {
 	var transferTime time.Duration
 	var local []string
 	cleanup := func(current string) {
@@ -297,7 +483,8 @@ func (w *worker) runFetch(ctx context.Context, l TaskLease, rep *ReportArgs, cou
 			rep.Unreachable = appendUnique(rep.Unreachable, src.Addr)
 			return fmt.Errorf("cluster: fetching %s from %s: %w", src.File, src.Addr, err)
 		}
-		name := fmt.Sprintf("shuffle/r%04d/m%04d.a%d.%02d", l.Partition, l.MapIndex, l.Attempt, i)
+		name := fmt.Sprintf("%s/shuffle/r%04d/m%04d.a%d.%02d",
+			wj.job.Workspace, l.Partition, l.MapIndex, l.Attempt, i)
 		f, err := w.fs.Create(name)
 		if err != nil {
 			rc.Close()
@@ -305,7 +492,7 @@ func (w *worker) runFetch(ctx context.Context, l TaskLease, rep *ReportArgs, cou
 			return err
 		}
 		var from io.Reader = rc
-		if !w.job.DisableChecksums {
+		if !wj.job.DisableChecksums {
 			from = mr.NewIntegrityVerifier(rc)
 		}
 		n, err := io.Copy(f, from)

@@ -348,6 +348,7 @@ func (b *mapBuffer) combineRun(partition int, entries []bufEntry, w *bytesx.Writ
 	combiner := b.job.NewCombiner()
 	info := &TaskInfo{
 		JobName:       b.job.Name,
+		Workspace:     b.job.Workspace,
 		TaskID:        b.taskID,
 		Partition:     partition,
 		Attempt:       b.attempt,
@@ -614,6 +615,7 @@ func combineMerged(job *Job, fs iokit.FS, counters *Counters, partition int, mer
 	combiner := job.NewCombiner()
 	info := &TaskInfo{
 		JobName:       job.Name,
+		Workspace:     job.Workspace,
 		TaskID:        taskID,
 		Partition:     partition,
 		NumPartitions: job.NumReduceTasks,

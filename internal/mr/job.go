@@ -19,6 +19,14 @@ import (
 type Job struct {
 	// Name labels the job in file names and logs.
 	Name string
+	// Workspace is the file-name prefix under which every file the job
+	// writes (spills, map-output segments, fetch copies, merge
+	// intermediates, Shared anti-combining spills) is created. It
+	// defaults to Name; the cluster runtime sets a per-job-instance
+	// value ("j000042") so one worker filesystem can host many
+	// concurrent jobs without path collisions and a finished job's
+	// files can all be removed under one prefix.
+	Workspace string
 	// NewMapper creates the Mapper for one map task. Required.
 	NewMapper func() Mapper
 	// NewReducer creates the Reducer for one reduce task. Required.
@@ -143,6 +151,9 @@ func (j *Job) normalized() (*Job, error) {
 	c := *j
 	if c.Name == "" {
 		c.Name = "job"
+	}
+	if c.Workspace == "" {
+		c.Workspace = c.Name
 	}
 	if c.Partitioner == nil {
 		c.Partitioner = HashPartitioner{}

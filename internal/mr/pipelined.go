@@ -95,7 +95,7 @@ func runPipelined(ctx context.Context, env *runEnv) (*Result, error) {
 					}
 					atomic.AddInt64(&shufflePer[p], flow)
 					if !localTransport {
-						prefix := fmt.Sprintf("%s/r%04d/m%04d.a%d.fetch", j.Name, p, i, tc.Attempt)
+						prefix := fmt.Sprintf("%s/r%04d/m%04d.a%d.fetch", j.Workspace, p, i, tc.Attempt)
 						fetched, err := fetchSegments(ctx, env.fs, env.transport, j, env.counters, p, prefix, segs)
 						if err != nil {
 							return nil, err

@@ -55,9 +55,9 @@ func isTransientErr(err error) bool {
 // directory so concurrent attempts never clobber each other's files.
 func mapTaskDir(job *Job, taskID, attempt int) string {
 	if attempt == 0 {
-		return fmt.Sprintf("%s/m%04d", job.Name, taskID)
+		return fmt.Sprintf("%s/m%04d", job.Workspace, taskID)
 	}
-	return fmt.Sprintf("%s/m%04d.a%d", job.Name, taskID, attempt)
+	return fmt.Sprintf("%s/m%04d.a%d", job.Workspace, taskID, attempt)
 }
 
 // runMapTask executes one attempt of a map task: run the Mapper over
@@ -85,6 +85,7 @@ func runMapTask(ctx context.Context, job *Job, fs iokit.FS, counters *Counters, 
 	mapper := job.NewMapper()
 	info := &TaskInfo{
 		JobName:       job.Name,
+		Workspace:     job.Workspace,
 		TaskID:        taskID,
 		Partition:     -1,
 		Attempt:       attempt,
@@ -176,7 +177,7 @@ func runReduceTask(ctx context.Context, job *Job, fs iokit.FS, counters *Counter
 	// A non-local transport first copies each segment to a reducer-local
 	// file through the real network path (Hadoop's fetch phase).
 	if _, local := transport.(LocalTransport); !local {
-		prefix := fmt.Sprintf("%s/r%04d/fetch", job.Name, partition)
+		prefix := fmt.Sprintf("%s/r%04d/fetch", job.Workspace, partition)
 		fetched, err := fetchSegments(ctx, fs, transport, job, counters, partition, prefix, segs)
 		if err != nil {
 			return nil, err
@@ -210,7 +211,7 @@ func reduceMerge(ctx context.Context, job *Job, fs iokit.FS, counters *Counters,
 		}
 	}()
 	if len(segs) > job.MergeFactor {
-		name := fmt.Sprintf("%s/r%04d/merged", job.Name, partition)
+		name := fmt.Sprintf("%s/r%04d/merged", job.Workspace, partition)
 		if attempt > 0 {
 			name = fmt.Sprintf("%s.a%d", name, attempt)
 		}
@@ -250,6 +251,7 @@ func reduceMerge(ctx context.Context, job *Job, fs iokit.FS, counters *Counters,
 	reducer := job.NewReducer()
 	info := &TaskInfo{
 		JobName:       job.Name,
+		Workspace:     job.Workspace,
 		TaskID:        partition,
 		Partition:     partition,
 		Attempt:       attempt,

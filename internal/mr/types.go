@@ -36,7 +36,13 @@ func (f EmitterFunc) Emit(key, value []byte) error { return f(key, value) }
 // as Anti-Combining can re-derive record routing, as the paper's
 // AntiMapper and AntiReducer do through Hadoop's context object.
 type TaskInfo struct {
-	JobName   string
+	JobName string
+	// Workspace is the job's file-name prefix (Job.Workspace after
+	// normalization) — wrappers that create scratch files must root
+	// them here, not under JobName, so concurrent jobs sharing one
+	// worker filesystem stay disjoint and per-job cleanup is a single
+	// prefix sweep.
+	Workspace string
 	TaskID    int
 	Partition int
 	// Attempt is the 0-based execution attempt of the enclosing task

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Client is the HTTP client for the serve API, shared by antctl and
+// tests.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets an antserve base URL ("http://127.0.0.1:7070").
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// do runs one request and decodes the JSON response into out (skipped
+// when out is nil). Error responses become Go errors: 404 wraps
+// ErrNotFound and 429 wraps ErrQuota, so callers can errors.Is them.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var ae apiError
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		switch resp.StatusCode {
+		case http.StatusNotFound:
+			return fmt.Errorf("%w: %s", ErrNotFound, strings.TrimPrefix(msg, ErrNotFound.Error()+": "))
+		case http.StatusTooManyRequests:
+			return fmt.Errorf("%w: %s", ErrQuota, strings.TrimPrefix(msg, ErrQuota.Error()+": "))
+		}
+		return fmt.Errorf("serve: %s %s: %s", method, path, msg)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit submits one job.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (JobRecord, error) {
+	var rec JobRecord
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", req, &rec)
+	return rec, err
+}
+
+// List lists jobs, optionally one tenant's.
+func (c *Client) List(ctx context.Context, tenant string) ([]JobRecord, error) {
+	path := "/api/v1/jobs"
+	if tenant != "" {
+		path += "?tenant=" + tenant
+	}
+	var recs []JobRecord
+	err := c.do(ctx, http.MethodGet, path, nil, &recs)
+	return recs, err
+}
+
+// Get fetches one job with live progress.
+func (c *Client) Get(ctx context.Context, id int) (JobRecord, error) {
+	var rec JobRecord
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/v1/jobs/%d", id), nil, &rec)
+	return rec, err
+}
+
+// Cancel cancels a job (idempotent).
+func (c *Client) Cancel(ctx context.Context, id int) (JobRecord, error) {
+	var rec JobRecord
+	err := c.do(ctx, http.MethodPost, fmt.Sprintf("/api/v1/jobs/%d/cancel", id), nil, &rec)
+	return rec, err
+}
+
+// Output downloads a succeeded job's output ("key\tvalue" lines).
+func (c *Client) Output(ctx context.Context, id int) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/api/v1/jobs/%d/output", c.base, id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("serve: output %d: %s: %s", id, resp.Status, bytes.TrimSpace(b))
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Workers lists the fleet's workers.
+func (c *Client) Workers(ctx context.Context) ([]cluster.WorkerInfo, error) {
+	var ws []cluster.WorkerInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/workers", nil, &ws)
+	return ws, err
+}
+
+// DrainWorker asks the fleet to drain one worker.
+func (c *Client) DrainWorker(ctx context.Context, id int) error {
+	return c.do(ctx, http.MethodPost, fmt.Sprintf("/api/v1/workers/%d/drain", id), nil, nil)
+}
+
+// Healthz fetches the liveness payload.
+func (c *Client) Healthz(ctx context.Context) (map[string]any, error) {
+	var h map[string]any
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Metrics fetches the /metrics snapshot values.
+func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
+	var snap struct {
+		Values map[string]int64 `json:"values"`
+	}
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &snap)
+	return snap.Values, err
+}
+
+// Tail follows a job's SSE progress stream, calling fn for each frame,
+// until the job finishes (fn receives a final "done" event), the
+// stream drops, or ctx ends.
+func (c *Client) Tail(ctx context.Context, id int, fn func(event string, snap EventSnapshot)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/api/v1/jobs/%d/events", c.base, id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("serve: events %d: %s: %s", id, resp.Status, bytes.TrimSpace(b))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var snap EventSnapshot
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &snap); err != nil {
+				return fmt.Errorf("serve: bad SSE frame: %w", err)
+			}
+			if fn != nil {
+				fn(event, snap)
+			}
+			if event == "done" {
+				return nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("serve: events stream for job %d ended early", id)
+}
+
+// WaitJob polls until the job reaches a terminal state.
+func (c *Client) WaitJob(ctx context.Context, id int, poll time.Duration) (JobRecord, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		rec, err := c.Get(ctx, id)
+		if err != nil {
+			return rec, err
+		}
+		switch rec.State {
+		case StateSucceeded, StateFailed, StateCanceled:
+			return rec, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return rec, ctx.Err()
+		}
+	}
+}

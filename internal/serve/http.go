@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /api/v1/jobs              submit a job (429 over tenant quota)
+//	GET    /api/v1/jobs[?tenant=t]   list jobs, newest first
+//	GET    /api/v1/jobs/{id}         one job, with live progress
+//	DELETE /api/v1/jobs/{id}         cancel (idempotent)
+//	POST   /api/v1/jobs/{id}/cancel  cancel (CLI-friendly alias)
+//	GET    /api/v1/jobs/{id}/output  succeeded job's output, "key\tvalue" lines
+//	GET    /api/v1/jobs/{id}/events  SSE progress stream (?once=1: one JSON snapshot)
+//	GET    /api/v1/workers           fleet worker listing
+//	POST   /api/v1/workers/{id}/drain  graceful drain
+//	GET    /healthz                  liveness + fleet summary
+//	GET    /metrics                  obs registry snapshot as JSON
+//	/debug/pprof/...                 when withPprof
+func (s *Server) Handler(withPprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/output", s.handleOutput)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/workers", s.handleWorkers)
+	mux.HandleFunc("POST /api/v1/workers/{id}/drain", s.handleDrain)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrQuota):
+		status = http.StatusTooManyRequests
+	}
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func jobID(r *http.Request) (int, error) {
+	return strconv.Atoi(r.PathValue("id"))
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad submit body: " + err.Error()})
+		return
+	}
+	rec, err := s.Submit(req)
+	if err != nil {
+		if errors.Is(err, ErrQuota) {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, rec)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List(r.URL.Query().Get("tenant")))
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad job id"})
+		return
+	}
+	rec, err := s.Get(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad job id"})
+		return
+	}
+	rec, err := s.Cancel(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleOutput(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad job id"})
+		return
+	}
+	res, err := s.Result(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, part := range res.Output {
+		for _, rec := range part {
+			fmt.Fprintf(w, "%s\t%s\n", rec.Key, rec.Value)
+		}
+	}
+}
+
+// EventSnapshot is one SSE progress frame.
+type EventSnapshot struct {
+	Job     JobRecord        `json:"job"`
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad job id"})
+		return
+	}
+	rec, err := s.Get(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if r.URL.Query().Get("once") != "" {
+		writeJSON(w, http.StatusOK, EventSnapshot{Job: rec, Metrics: s.fleet.Metrics()})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, apiError{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(event string, rec JobRecord) {
+		b, _ := json.Marshal(EventSnapshot{Job: rec, Metrics: s.fleet.Metrics()})
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+		fl.Flush()
+	}
+	send("progress", rec)
+	j := s.get(id)
+	t := time.NewTicker(150 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.done:
+			rec, _ = s.Get(id)
+			send("done", rec)
+			return
+		case <-t.C:
+			rec, _ = s.Get(id)
+			send("progress", rec)
+		}
+	}
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.fleet.Workers())
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad worker id"})
+		return
+	}
+	if !s.fleet.DrainWorker(id) {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no live worker %d", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"draining": id})
+}
+
+// healthz is the liveness payload.
+type healthz struct {
+	OK        bool             `json:"ok"`
+	FleetAddr string           `json:"fleet_addr"`
+	Fleet     map[string]int64 `json:"fleet"`
+	Jobs      map[string]int64 `json:"jobs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthz{
+		OK: true, FleetAddr: s.fleet.Addr(), Fleet: s.fleet.Metrics(), Jobs: s.metrics(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Registry.Snapshot())
+}

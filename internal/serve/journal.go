@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// journalEntry is one JSONL journal line: a submission (Op "submit",
+// Job set) or a state transition (Op "state", ID/State/Error set).
+type journalEntry struct {
+	Op    string     `json:"op"`
+	Time  time.Time  `json:"time"`
+	Job   *JobRecord `json:"job,omitempty"`
+	ID    int        `json:"id,omitempty"`
+	State string     `json:"state,omitempty"`
+	Error string     `json:"error,omitempty"`
+}
+
+// journalLocked appends one entry; persistence failures are surfaced
+// on stderr but never fail the operation (the queue keeps working
+// in-memory, merely less durable).
+func (s *Server) journalLocked(e journalEntry) {
+	if s.journal == nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err == nil {
+		_, err = s.journal.Write(append(b, '\n'))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: journal write failed: %v\n", err)
+	}
+}
+
+// replayJournal rebuilds the job table from the journal. Jobs whose
+// last state was queued or running are re-queued: a job caught mid-run
+// left no durable output, and re-running a registry job is safe by
+// construction (builders are deterministic in the spec). Terminal jobs
+// keep their records (results themselves are not persisted).
+func (s *Server) replayJournal() error {
+	f, err := os.Open(s.cfg.JournalPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return fmt.Errorf("serve: journal %s line %d: %w", s.cfg.JournalPath, line, err)
+		}
+		switch e.Op {
+		case "submit":
+			if e.Job == nil {
+				return fmt.Errorf("serve: journal %s line %d: submit without job", s.cfg.JournalPath, line)
+			}
+			rec := *e.Job
+			rec.State = StateQueued
+			s.jobs[rec.ID] = &job{rec: rec, done: make(chan struct{})}
+			if rec.ID >= s.nextID {
+				s.nextID = rec.ID + 1
+			}
+		case "state":
+			j := s.jobs[e.ID]
+			if j == nil {
+				continue // state for a job whose submit line was lost
+			}
+			switch e.State {
+			case StateQueued, StateRunning:
+				// Non-terminal: replay leaves the job queued for re-dispatch.
+				j.rec.State = StateQueued
+			case StateSucceeded, StateFailed, StateCanceled:
+				j.rec.State = e.State
+				j.rec.Error = e.Error
+				j.rec.FinishedAt = e.Time
+				close(j.done)
+			}
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,360 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/iokit"
+	"repro/internal/mr"
+	"repro/internal/serve"
+)
+
+// wcRef builds an exp/wordcount JobRef small enough for tests; seed
+// varies the dataset so jobs cannot accidentally share output.
+func wcRef(t *testing.T, seed uint64) cluster.JobRef {
+	t.Helper()
+	ref, err := experiments.ClusterRef(experiments.ClusterJobWordCount, experiments.Config{
+		Scale: 0.02, Seed: seed, Splits: 4, Reducers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+// baseline runs the same registry job on the in-process engine.
+func baseline(t *testing.T, ref cluster.JobRef) *mr.Result {
+	t.Helper()
+	job, splits, err := cluster.BuildJob(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mr.Run(job, splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func assertSameOutput(t *testing.T, id int, got, want *mr.Result) {
+	t.Helper()
+	g, w := got.SortedOutput(), want.SortedOutput()
+	if len(g) != len(w) {
+		t.Fatalf("job %d: output length %d, want %d", id, len(g), len(w))
+	}
+	for i := range g {
+		if !bytes.Equal(g[i].Key, w[i].Key) || !bytes.Equal(g[i].Value, w[i].Value) {
+			t.Fatalf("job %d record %d: got %s, want %s",
+				id, i, mr.FormatRecord(g[i]), mr.FormatRecord(w[i]))
+		}
+	}
+}
+
+// serveWorkers joins n in-process workers to the server's fleet.
+func serveWorkers(t *testing.T, ctx context.Context, srv *serve.Server, n, slots int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		go cluster.RunWorker(ctx, cluster.WorkerOptions{
+			Coordinator: srv.FleetAddr(), Slots: slots, FS: iokit.NewMemFS(),
+		})
+	}
+	if err := srv.Fleet().WaitWorkers(ctx, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// slowHeartbeats keeps -race scheduling hiccups from spuriously
+// declaring a worker dead mid-test.
+var slowHeartbeats = cluster.FleetConfig{HeartbeatEvery: 50 * time.Millisecond, HeartbeatMiss: 40}
+
+// TestServeConcurrentTenantsByteIdentical drives the full service over
+// HTTP: nine jobs from three tenants run concurrently over one shared
+// three-worker fleet, every job's output is byte-identical to its own
+// single-process run, and the status, output, workers, healthz,
+// metrics, and SSE endpoints all agree with what happened.
+func TestServeConcurrentTenantsByteIdentical(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		Fleet: slowHeartbeats,
+		Tenants: map[string]serve.TenantConfig{
+			"analytics": {Weight: 2, MaxRunning: 3},
+			"adhoc":     {Weight: 1, MaxRunning: 3},
+			"batch":     {Weight: 1, MaxRunning: 3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler(false))
+	defer ts.Close()
+	c := serve.NewClient(ts.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	serveWorkers(t, ctx, srv, 3, 3)
+
+	tenants := []string{"analytics", "adhoc", "batch"}
+	const nJobs = 9
+	refs := make([]cluster.JobRef, nJobs)
+	ids := make([]int, nJobs)
+	for i := 0; i < nJobs; i++ {
+		refs[i] = wcRef(t, uint64(100+i))
+		rec, err := c.Submit(ctx, serve.SubmitRequest{
+			Name: refs[i].Name, Spec: json.RawMessage(refs[i].Spec), Tenant: tenants[i%3],
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = rec.ID
+	}
+
+	for i, id := range ids {
+		rec, err := c.WaitJob(ctx, id, 50*time.Millisecond)
+		if err != nil {
+			t.Fatalf("wait %d: %v", id, err)
+		}
+		if rec.State != serve.StateSucceeded {
+			t.Fatalf("job %d is %s (%s), want succeeded", id, rec.State, rec.Error)
+		}
+		if rec.Progress.TasksDone != rec.Progress.TasksTotal || rec.Progress.TasksTotal == 0 {
+			t.Errorf("job %d progress %d/%d, want complete",
+				id, rec.Progress.TasksDone, rec.Progress.TasksTotal)
+		}
+		res, err := srv.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameOutput(t, id, res, baseline(t, refs[i]))
+	}
+
+	out, err := c.Output(ctx, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || !bytes.Contains(out, []byte("\t")) {
+		t.Errorf("output endpoint returned %d bytes without key\\tvalue lines", len(out))
+	}
+
+	ws, err := c.Workers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := 0
+	for _, w := range ws {
+		if w.Live {
+			live++
+		}
+	}
+	if live != 3 {
+		t.Errorf("workers endpoint reports %d live, want 3", live)
+	}
+
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := h["ok"].(bool); !ok {
+		t.Errorf("healthz not ok: %v", h)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["serve/jobs_succeeded"] < nJobs {
+		t.Errorf("metrics serve/jobs_succeeded = %d, want >= %d", m["serve/jobs_succeeded"], nJobs)
+	}
+	if m["fleet/workers_live"] != 3 {
+		t.Errorf("metrics fleet/workers_live = %d, want 3", m["fleet/workers_live"])
+	}
+
+	// Tailing a finished job yields at least one progress frame and a
+	// terminal "done" frame with the succeeded record.
+	var events []string
+	var last serve.EventSnapshot
+	if err := c.Tail(ctx, ids[nJobs-1], func(ev string, snap serve.EventSnapshot) {
+		events = append(events, ev)
+		last = snap
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 || events[len(events)-1] != "done" {
+		t.Errorf("tail events %v, want progress frames ending in done", events)
+	}
+	if last.Job.State != serve.StateSucceeded {
+		t.Errorf("tail final state %s, want succeeded", last.Job.State)
+	}
+}
+
+// TestServeQuotaAndCancel exercises admission control with no workers
+// (jobs park forever): MaxRunning caps dispatch, MaxQueued rejects with
+// ErrQuota over HTTP 429, bad submissions fail fast, and cancel works
+// on queued and running jobs alike (idempotently).
+func TestServeQuotaAndCancel(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		Fleet:   slowHeartbeats,
+		Tenants: map[string]serve.TenantConfig{"q": {MaxRunning: 1, MaxQueued: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler(false))
+	defer ts.Close()
+	c := serve.NewClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	ref := wcRef(t, 1)
+	submit := func() (serve.JobRecord, error) {
+		return c.Submit(ctx, serve.SubmitRequest{
+			Name: ref.Name, Spec: json.RawMessage(ref.Spec), Tenant: "q",
+		})
+	}
+	running, err := submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := submit(); !errors.Is(err, serve.ErrQuota) {
+		t.Fatalf("third submit err = %v, want ErrQuota (429)", err)
+	}
+
+	if _, err := c.Submit(ctx, serve.SubmitRequest{Name: "no/such-job"}); err == nil ||
+		errors.Is(err, serve.ErrQuota) {
+		t.Fatalf("unknown job submit err = %v, want fast build failure", err)
+	}
+	if _, err := c.Get(ctx, 999); !errors.Is(err, serve.ErrNotFound) {
+		t.Fatalf("get 999 err = %v, want ErrNotFound (404)", err)
+	}
+
+	// The first job is running (dispatched, parked waiting for workers),
+	// the second still queued behind MaxRunning=1.
+	rec, err := c.Get(ctx, running.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != serve.StateRunning {
+		t.Fatalf("job %d is %s, want running", running.ID, rec.State)
+	}
+	rec, err = c.Get(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != serve.StateQueued {
+		t.Fatalf("job %d is %s, want queued", queued.ID, rec.State)
+	}
+
+	for _, id := range []int{queued.ID, running.ID} {
+		rec, err := c.Cancel(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.State != serve.StateCanceled {
+			t.Fatalf("cancel %d left state %s, want canceled", id, rec.State)
+		}
+		// Idempotent: canceling a terminal job returns it unchanged.
+		rec, err = c.Cancel(ctx, id)
+		if err != nil || rec.State != serve.StateCanceled {
+			t.Fatalf("re-cancel %d: %v state %s", id, err, rec.State)
+		}
+	}
+}
+
+// TestServeJournalReplay covers the persistent-enough queue: a journal
+// describing a job caught mid-run (crash semantics: no terminal state
+// recorded) is replayed into a re-queued job that then runs to success,
+// ID allocation continues past replayed jobs, and a reopened server
+// still sees every terminal record.
+func TestServeJournalReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	ref := wcRef(t, 7)
+
+	// Hand-written crash journal: job 0 was submitted and caught running.
+	crash := fmt.Sprintf(`{"op":"submit","job":{"id":0,"tenant":"t","name":%q,"spec":%s,"state":"queued"}}
+{"op":"state","id":0,"state":"running"}
+`, ref.Name, ref.Spec)
+	if err := os.WriteFile(path, []byte(crash), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := serve.New(serve.Config{Fleet: slowHeartbeats, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	serveWorkers(t, ctx, srv, 1, 2)
+
+	rec, err := srv.Wait(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != serve.StateSucceeded {
+		t.Fatalf("replayed job 0 is %s (%s), want succeeded", rec.State, rec.Error)
+	}
+	res, err := srv.Result(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutput(t, 0, res, baseline(t, ref))
+
+	// New submissions allocate past the replayed ID.
+	rec2, err := srv.Submit(serve.SubmitRequest{
+		Name: ref.Name, Spec: json.RawMessage(ref.Spec), Tenant: "t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.ID != 1 {
+		t.Fatalf("post-replay submit got ID %d, want 1", rec2.ID)
+	}
+	if rec, err = srv.Wait(ctx, rec2.ID); err != nil || rec.State != serve.StateSucceeded {
+		t.Fatalf("job %d: %v state %s", rec2.ID, err, rec.State)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: both jobs replay as terminal records (results themselves
+	// are not persisted), and ID allocation continues.
+	srv2, err := serve.New(serve.Config{Fleet: slowHeartbeats, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	for _, id := range []int{0, 1} {
+		rec, err := srv2.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.State != serve.StateSucceeded {
+			t.Errorf("reopened job %d is %s, want succeeded", id, rec.State)
+		}
+	}
+	if _, err := srv2.Result(0); err == nil {
+		t.Error("results should not survive a restart")
+	}
+	rec3, err := srv2.Submit(serve.SubmitRequest{
+		Name: ref.Name, Spec: json.RawMessage(ref.Spec), Tenant: "t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec3.ID != 2 {
+		t.Fatalf("post-reopen submit got ID %d, want 2", rec3.ID)
+	}
+}

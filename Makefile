@@ -20,9 +20,12 @@ race:
 verify: build vet race
 
 # Map-path benchmarks, published as BENCH_4.json (the baseline/default
-# sub-benchmark pairs become speedup + allocation-reduction rows).
+# sub-benchmark pairs become speedup + allocation-reduction rows), and
+# the skew-partitioning benchmarks as BENCH_5.json (hash vs range vs
+# split max/mean partition bytes via custom ReportMetric units).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMapBufferSpill|BenchmarkMapPathE2E|BenchmarkMergeIter' -benchmem ./internal/mr/ | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_4.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSkewPartition' -benchmem ./internal/experiments/ | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_5.json
 
 # Every benchmark in the repository, human-readable.
 bench-all:

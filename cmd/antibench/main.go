@@ -55,6 +55,8 @@ var registry = []experiment{
 	{"window", "X2 extension: cross-call EagerSH window (§9 future work)", adapt(experiments.CrossCall)},
 	{"netsweep", "X3 extension: runtime benefit vs network speed", adapt(experiments.NetworkSweep)},
 	{"skew", "X4 extension: reducer load skew under LazySH (§6.2)", adapt(experiments.Skew)},
+	{"skewpart", "X5 extension: skew-aware adaptive partitioning (hash/range/split)", adapt(experiments.SkewPartition)},
+	{"thetashares", "X6 extension: SharesSkew allocation for 1-Bucket-Theta", adapt(experiments.ThetaShares)},
 	{"sort", "OBS traced prefix-sort with forced Shared spilling (use with -trace)", adapt(experiments.Sort)},
 }
 

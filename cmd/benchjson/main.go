@@ -26,6 +26,9 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. the skew
+	// benchmarks' "maxpart-B" and "skew-x"), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Comparison pairs a benchmark's baseline and default variants.
@@ -137,6 +140,11 @@ func parseResult(line string) (Benchmark, bool) {
 			b.BytesPerOp = v
 		case "allocs/op":
 			b.AllocsPerOp = v
+		default:
+			if b.Extra == nil {
+				b.Extra = make(map[string]float64)
+			}
+			b.Extra[fields[i+1]] = v
 		}
 	}
 	return b, true

@@ -85,6 +85,31 @@ func (c Cluster) Estimate(stats mr.Stats, shufflePerPartition []int64) (Estimate
 	return e, nil
 }
 
+// PartitionSkew summarizes per-partition flow bytes as max, mean, and
+// max/mean — the balance figure the skew-aware partitioning layer
+// (internal/partition) optimizes. Feed it either the predicted
+// Stats.MapOutputPerPartition or the measured
+// Result.ShufflePerPartition; on the shared-fabric netsim the shuffle
+// makespan tracks the max flow, so the ratio is also the network-time
+// penalty of imbalance.
+func PartitionSkew(flows []int64) (maxBytes, meanBytes int64, ratio float64) {
+	if len(flows) == 0 {
+		return 0, 0, 0
+	}
+	var sum int64
+	for _, f := range flows {
+		if f > maxBytes {
+			maxBytes = f
+		}
+		sum += f
+	}
+	meanBytes = sum / int64(len(flows))
+	if meanBytes > 0 {
+		ratio = float64(maxBytes) / float64(meanBytes)
+	}
+	return maxBytes, meanBytes, ratio
+}
+
 // ObservedOverlap measures, from a finished job's event timeline
 // (mr.Result.Timeline), how long shuffle fetches actually ran
 // concurrently with still-executing map tasks. The bottleneck model

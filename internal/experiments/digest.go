@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"sort"
 	"sync"
 
 	"repro/internal/mr"
@@ -61,6 +63,37 @@ func (d *OutputDigests) Record(name string, res *mr.Result) {
 	d.mu.Lock()
 	d.byName[name] = append(d.byName[name], sum)
 	d.mu.Unlock()
+}
+
+// RecordsDigest fingerprints only a run's output record multiset —
+// unlike OutputDigests.Record it deliberately excludes shuffle flows
+// and counters, which legitimately differ across partitioning
+// strategies, and it sorts records globally rather than per partition,
+// because different partitioners lay the same records out differently.
+// It is the cross-strategy identity check: hash, range, and split runs
+// of the same job must produce equal RecordsDigests even though their
+// per-partition flows are the whole point of the comparison.
+func RecordsDigest(res *mr.Result) string {
+	recs := res.SortedOutput()
+	sort.Slice(recs, func(i, j int) bool {
+		if c := bytes.Compare(recs[i].Key, recs[j].Key); c != 0 {
+			return c < 0
+		}
+		return bytes.Compare(recs[i].Value, recs[j].Value) < 0
+	})
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, r := range recs {
+		writeInt(int64(len(r.Key)))
+		h.Write(r.Key)
+		writeInt(int64(len(r.Value)))
+		h.Write(r.Value)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Snapshot copies the recorded digests, keyed by job name in recording

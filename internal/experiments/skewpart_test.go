@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// TestSkewPartition asserts the PR's acceptance numbers on X5. On the
+// zipf-hot profile one key dominates: hash collapses (>= 3x) and only
+// splitting balances it, so Decide must pick split. On colliding-heads
+// several packable keys collide under hash: hash still breaks but range
+// packing balances, so Decide must pick range. Both profiles' sorted
+// reduce output must be byte-identical across all three strategies.
+func TestSkewPartition(t *testing.T) {
+	r, err := SkewPartition(Config{Scale: 0.4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs := make(map[string]SkewPartitionProfile, len(r.Profiles))
+	for _, p := range r.Profiles {
+		profs[p.Name] = p
+	}
+
+	rowsOf := func(p SkewPartitionProfile) map[string]SkewPartitionRow {
+		out := make(map[string]SkewPartitionRow, len(p.Rows))
+		for _, row := range p.Rows {
+			out[row.Strategy] = row
+		}
+		return out
+	}
+
+	zipf, ok := profs["zipf-hot"]
+	if !ok {
+		t.Fatal("missing zipf-hot profile")
+	}
+	if !zipf.Identical {
+		t.Fatalf("zipf-hot output differs across strategies: %v", zipf.Digests)
+	}
+	zr := rowsOf(zipf)
+	if s := zr["hash"].Skew; s < 3 {
+		t.Errorf("zipf-hot hash skew = %.2f, want >= 3", s)
+	}
+	if s := zr["split"].Skew; s > 1.25 {
+		t.Errorf("zipf-hot split skew = %.2f, want <= 1.25", s)
+	}
+	if zipf.Decision.Strategy != partition.StrategySplit {
+		t.Errorf("zipf-hot decision = %v (%s), want split", zipf.Decision.Strategy, zipf.Decision.Reason)
+	}
+	if zipf.HotKeys < 1 {
+		t.Errorf("zipf-hot split plan fanned out %d keys, want >= 1", zipf.HotKeys)
+	}
+	if zr["split"].NetTime > zr["hash"].NetTime {
+		t.Errorf("zipf-hot split net time %v exceeds hash %v — balancing should shrink the shuffle makespan",
+			zr["split"].NetTime, zr["hash"].NetTime)
+	}
+
+	coll, ok := profs["colliding-heads"]
+	if !ok {
+		t.Fatal("missing colliding-heads profile")
+	}
+	if !coll.Identical {
+		t.Fatalf("colliding-heads output differs across strategies: %v", coll.Digests)
+	}
+	cr := rowsOf(coll)
+	if s := cr["hash"].Skew; s < 3 {
+		t.Errorf("colliding-heads hash skew = %.2f, want >= 3", s)
+	}
+	if s := cr["range"].Skew; s > 1.25 {
+		t.Errorf("colliding-heads range skew = %.2f, want <= 1.25", s)
+	}
+	if s := cr["split"].Skew; s > 1.25 {
+		t.Errorf("colliding-heads split skew = %.2f, want <= 1.25", s)
+	}
+	if coll.Decision.Strategy != partition.StrategyRange {
+		t.Errorf("colliding-heads decision = %v (%s), want range", coll.Decision.Strategy, coll.Decision.Reason)
+	}
+
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "identical across strategies") {
+		t.Errorf("render missing identity line:\n%s", sb.String())
+	}
+}
+
+// TestThetaShares asserts X6: under placement skew the contiguous block
+// assignment overloads one reducer while the SharesSkew-style plan
+// (sub-tiled hot regions, LPT-packed) balances, with the join output
+// record-identical across variants including under AdaptiveSH.
+func TestThetaShares(t *testing.T) {
+	r, err := ThetaShares(Config{Scale: 0.5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Identical {
+		t.Fatalf("join output differs across variants: %v", r.Digests)
+	}
+	if r.SubTiled < 1 {
+		t.Errorf("share plan sub-tiled %d regions, want >= 1 under placement skew", r.SubTiled)
+	}
+	rows := make(map[string]ThetaSharesRow, len(r.Rows))
+	for _, row := range r.Rows {
+		rows[row.Name] = row
+	}
+	block, shares := rows["block"], rows["shares"]
+	if block.Skew < 2 {
+		t.Errorf("block skew = %.2f, want >= 2 under placement skew", block.Skew)
+	}
+	if shares.Skew > 1.5 {
+		t.Errorf("shares skew = %.2f, want <= 1.5", shares.Skew)
+	}
+	if shares.Skew >= block.Skew {
+		t.Errorf("shares skew %.2f not better than block %.2f", shares.Skew, block.Skew)
+	}
+}

@@ -25,6 +25,13 @@ type Counters struct {
 	mapTaskNs         atomic.Int64
 	reduceTaskNs      atomic.Int64
 
+	// partBytes, sized once by InitPartitions before any task runs,
+	// meters framed map-output bytes per reduce partition — the
+	// per-partition flow prediction the skew-aware partitioning layer
+	// (internal/partition) and its experiments consume. Unsized, the
+	// meter is a no-op.
+	partBytes []atomic.Int64
+
 	mu    sync.Mutex
 	extra map[string]int64
 	// meter and start are wired once by the engine before tasks launch
@@ -60,6 +67,31 @@ func (c *Counters) MarkEnd(t time.Time) {
 	c.mu.Lock()
 	c.end = t
 	c.mu.Unlock()
+}
+
+// InitPartitions sizes the per-partition map-output meter for n reduce
+// partitions. The engine (and ExecMapTask, for cluster workers) calls
+// it before any task runs; until then AddMapOutputPartition is a no-op
+// and snapshots carry a nil MapOutputPerPartition.
+func (c *Counters) InitPartitions(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if len(c.partBytes) != n {
+		c.partBytes = make([]atomic.Int64, n)
+	}
+	c.mu.Unlock()
+}
+
+// AddMapOutputPartition charges framed map-output bytes to partition
+// p's meter. Callers may invoke it unconditionally: out-of-range
+// partitions and unsized meters are no-ops.
+func (c *Counters) AddMapOutputPartition(p int, bytes int64) {
+	if p < 0 || p >= len(c.partBytes) {
+		return
+	}
+	c.partBytes[p].Add(bytes)
 }
 
 // AddShuffle meters fetched shuffle data arriving at the reduce side:
@@ -128,6 +160,10 @@ type Stats struct {
 	// analogue of the paper's "total CPU time" split by phase.
 	MapCPU    time.Duration
 	ReduceCPU time.Duration
+	// MapOutputPerPartition is each reduce partition's framed map-output
+	// bytes — the pre-codec flow sizes the skew-aware partitioning layer
+	// predicts and balances. Nil when the meter was never sized.
+	MapOutputPerPartition []int64
 	// WallTime is the end-to-end job time in this process.
 	WallTime time.Duration
 	// Extra holds auxiliary counters keyed by name.
@@ -156,6 +192,16 @@ func (s *Stats) Accumulate(o Stats) {
 	s.DiskWriteBytes += o.DiskWriteBytes
 	s.MapCPU += o.MapCPU
 	s.ReduceCPU += o.ReduceCPU
+	if len(o.MapOutputPerPartition) > 0 {
+		if len(s.MapOutputPerPartition) < len(o.MapOutputPerPartition) {
+			grown := make([]int64, len(o.MapOutputPerPartition))
+			copy(grown, s.MapOutputPerPartition)
+			s.MapOutputPerPartition = grown
+		}
+		for i, v := range o.MapOutputPerPartition {
+			s.MapOutputPerPartition[i] += v
+		}
+	}
 	if o.WallTime > s.WallTime {
 		s.WallTime = o.WallTime
 	}
@@ -224,7 +270,15 @@ func (c *Counters) Snapshot() Stats {
 		extra[k] = v
 	}
 	meter, start, end := c.meter, c.start, c.end
+	parts := c.partBytes
 	c.mu.Unlock()
+	var perPart []int64
+	if len(parts) > 0 {
+		perPart = make([]int64, len(parts))
+		for i := range parts {
+			perPart[i] = parts[i].Load()
+		}
+	}
 	var diskR, diskW int64
 	if meter != nil {
 		diskR, diskW = meter.ReadBytes(), meter.WriteBytes()
@@ -237,20 +291,21 @@ func (c *Counters) Snapshot() Stats {
 		wall = time.Since(start)
 	}
 	return Stats{
-		DiskReadBytes:        diskR,
-		DiskWriteBytes:       diskW,
-		WallTime:             wall,
-		MapInputRecords:      c.mapInputRecords.Load(),
-		MapOutputRecords:     c.mapOutputRecords.Load(),
-		MapOutputBytes:       c.mapOutputBytes.Load(),
-		ShuffleBytes:         c.shuffleBytes.Load(),
-		Spills:               c.spills.Load(),
-		CombineInputRecords:  c.combineInRecords.Load(),
-		CombineOutputRecords: c.combineOutRecords.Load(),
-		ReduceInputRecords:   c.reduceInRecords.Load(),
-		ReduceOutputRecords:  c.reduceOutRecords.Load(),
-		MapCPU:               time.Duration(c.mapTaskNs.Load()),
-		ReduceCPU:            time.Duration(c.reduceTaskNs.Load()),
-		Extra:                extra,
+		DiskReadBytes:         diskR,
+		DiskWriteBytes:        diskW,
+		WallTime:              wall,
+		MapInputRecords:       c.mapInputRecords.Load(),
+		MapOutputRecords:      c.mapOutputRecords.Load(),
+		MapOutputBytes:        c.mapOutputBytes.Load(),
+		ShuffleBytes:          c.shuffleBytes.Load(),
+		Spills:                c.spills.Load(),
+		CombineInputRecords:   c.combineInRecords.Load(),
+		CombineOutputRecords:  c.combineOutRecords.Load(),
+		ReduceInputRecords:    c.reduceInRecords.Load(),
+		ReduceOutputRecords:   c.reduceOutRecords.Load(),
+		MapCPU:                time.Duration(c.mapTaskNs.Load()),
+		ReduceCPU:             time.Duration(c.reduceTaskNs.Load()),
+		MapOutputPerPartition: perPart,
+		Extra:                 extra,
 	}
 }

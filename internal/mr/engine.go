@@ -110,6 +110,7 @@ func Run(job *Job, splits []Split) (*Result, error) {
 	meter := &iokit.Meter{}
 	fs := iokit.Metered(j.FS, meter)
 	counters := &Counters{}
+	counters.InitPartitions(j.NumReduceTasks)
 	// Wire the disk meter and start time in before any task runs, so a
 	// live observer's mid-job Snapshot carries consistent disk and
 	// wall-time readings alongside the record counters.

@@ -48,6 +48,7 @@ func ExecMapTask(ctx context.Context, job *Job, fs iokit.FS, counters *Counters,
 	if err != nil {
 		return nil, err
 	}
+	counters.InitPartitions(j.NumReduceTasks)
 	segs, err := runMapTask(ctx, j, fs, counters, taskID, attempt, split)
 	if err != nil {
 		return nil, err

@@ -99,11 +99,13 @@ func runMapTask(ctx context.Context, job *Job, fs iokit.FS, counters *Counters, 
 	}
 	out := EmitterFunc(func(k, v []byte) error {
 		counters.mapOutputRecords.Add(1)
-		counters.mapOutputBytes.Add(int64(bytesx.RecordLen(k, v)))
+		rl := int64(bytesx.RecordLen(k, v))
+		counters.mapOutputBytes.Add(rl)
 		p := job.Partitioner.Partition(k, job.NumReduceTasks)
 		if p < 0 || p >= job.NumReduceTasks {
 			return fmt.Errorf("mr: partitioner returned %d for %d partitions", p, job.NumReduceTasks)
 		}
+		counters.AddMapOutputPartition(p, rl)
 		return buf.add(p, k, v)
 	})
 	if err := mapper.Setup(info, out); err != nil {

@@ -78,6 +78,17 @@ type Config struct {
 	// JournalPath, when non-empty, makes the queue persistent-enough: a
 	// JSONL journal of submissions and state transitions, replayed on
 	// startup (jobs caught mid-run are re-queued).
+	//
+	// Durability contract: terminal state transitions (succeeded,
+	// failed, canceled) are fsynced before the write is considered
+	// done — a job observed finished stays finished across a crash.
+	// Submissions and non-terminal transitions are appended without
+	// sync: a crash may lose the tail, which at worst forgets a
+	// just-submitted job or re-queues a job caught mid-run, both safe
+	// (builders are deterministic, results are never persisted). The
+	// same crash can tear the final line mid-append; replay tolerates
+	// exactly that — a torn *last* line is logged and truncated away,
+	// while corruption earlier in the file still fails startup.
 	JournalPath string
 	// Registry receives the server's and fleet's metric sources (one is
 	// created if nil); /metrics serves its snapshot.
@@ -364,8 +375,14 @@ func (s *Server) startLocked(j *job) {
 	}()
 }
 
-// finishLocked moves a job to its terminal state.
+// finishLocked moves a job to its terminal state. Terminal states are
+// final: a second call (a cancel racing the job's own completion, a
+// replayed journal already holding the outcome) is a no-op, so j.done
+// closes exactly once and the first outcome sticks.
 func (s *Server) finishLocked(j *job, res *mr.Result, err error) {
+	if isTerminal(j.rec.State) {
+		return
+	}
 	j.cancel = nil
 	j.rec.FinishedAt = time.Now()
 	switch {

@@ -25,6 +25,7 @@ package thetajoin
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"repro/internal/datagen"
 	"repro/internal/mr"
@@ -40,6 +41,18 @@ type Config struct {
 	// BandTenths is the latitude band in tenths of a degree.
 	// Defaults to 100 (the query's 10 degrees).
 	BandTenths int32
+	// PlacementSkew warps the deterministic row/column assignment: 0
+	// (the default) keeps the historical uniform hash; e > 0 assigns
+	// index floor(n·u^(1+e)) from the hash-derived uniform u, so low
+	// rows and columns concentrate mass the way value-correlated
+	// placement does in real joins — an adversarial load profile for
+	// the uniform 1-Bucket-Theta grid (the regime SharesSkew targets).
+	PlacementSkew float64
+	// Shares, when non-nil, replaces the contiguous block partitioner
+	// with a SharesSkew-style weighted share allocation (see
+	// BuildSharesPlan), including sub-tiling of hot regions. Join
+	// output records are identical either way.
+	Shares *SharesPlan
 }
 
 func (c Config) normalized() Config {
@@ -95,22 +108,60 @@ type mapper struct {
 // Map implements mr.Mapper over one Cloud record line.
 func (m mapper) Map(key, value []byte, out mr.Emitter) error {
 	// Deterministic stand-ins for 1-Bucket-Theta's random row/column.
-	row := int(datagen.Hash64(append([]byte("S|"), value...)) % uint64(m.cfg.Rows))
-	col := int(datagen.Hash64(append([]byte("T|"), value...)) % uint64(m.cfg.Cols))
+	row := placeIdx(datagen.Hash64(append([]byte("S|"), value...)), m.cfg.Rows, m.cfg.PlacementSkew)
+	col := placeIdx(datagen.Hash64(append([]byte("T|"), value...)), m.cfg.Cols, m.cfg.PlacementSkew)
 
 	sVal := append([]byte{'S'}, value...)
 	for c := 0; c < m.cfg.Cols; c++ {
-		if err := out.Emit(RegionKey(row*m.cfg.Cols+c), sVal); err != nil {
+		g := row*m.cfg.Cols + c
+		if sg := m.cfg.Shares.subOf(g); sg != nil {
+			// Sub-tiled region: the S copy fans across the b
+			// sub-columns of its hashed sub-row.
+			sr := int(datagen.Hash64(append([]byte("sr|"), value...)) % uint64(sg.rows))
+			for sc := 0; sc < sg.cols; sc++ {
+				if err := out.Emit(subRegionKey(g, sr*sg.cols+sc), sVal); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := out.Emit(RegionKey(g), sVal); err != nil {
 			return err
 		}
 	}
 	tVal := append([]byte{'T'}, value...)
 	for r := 0; r < m.cfg.Rows; r++ {
-		if err := out.Emit(RegionKey(r*m.cfg.Cols+col), tVal); err != nil {
+		g := r*m.cfg.Cols + col
+		if sg := m.cfg.Shares.subOf(g); sg != nil {
+			// The T copy fans down the a sub-rows of its hashed
+			// sub-column, meeting each S sub-copy exactly once.
+			sc := int(datagen.Hash64(append([]byte("sc|"), value...)) % uint64(sg.cols))
+			for sr := 0; sr < sg.rows; sr++ {
+				if err := out.Emit(subRegionKey(g, sr*sg.cols+sc), tVal); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := out.Emit(RegionKey(g), tVal); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// placeIdx maps a hash to a grid index: uniform at skew 0 (the
+// historical byte-identical path), else floor(n·u^(1+skew)).
+func placeIdx(h uint64, n int, skew float64) int {
+	if skew <= 0 {
+		return int(h % uint64(n))
+	}
+	u := float64(h>>11) / float64(1<<53)
+	idx := int(math.Pow(u, 1+skew) * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
 }
 
 // tuple is a parsed Cloud record, reduced to the join attributes.
@@ -150,11 +201,18 @@ func (r reducer) Reduce(key []byte, values mr.ValueIter, out mr.Emitter) error {
 			return fmt.Errorf("thetajoin: unknown role %q", v[0])
 		}
 	}
+	// Sub-tiled groups carry a 5th sub-region index byte; strip it on
+	// output so the joined records are byte-identical to an un-tiled
+	// run (every (s, t) pair meets exactly once either way).
+	outKey := key
+	if len(key) == 5 {
+		outKey = key[:4]
+	}
 	for _, s := range ss {
 		for _, t := range ts {
 			if s.date == t.date && s.lon == t.lon && abs32(s.lat-t.lat) <= r.cfg.BandTenths {
 				line := fmt.Sprintf("%d,%d,%d,%d", s.date, s.lon, s.lat, t.lat)
-				if err := out.Emit(key, []byte(line)); err != nil {
+				if err := out.Emit(outKey, []byte(line)); err != nil {
 					return err
 				}
 			}
@@ -170,14 +228,20 @@ func abs32(x int32) int32 {
 	return x
 }
 
-// NewJob builds the 1-Bucket-Theta join job.
+// NewJob builds the 1-Bucket-Theta join job. With cfg.Shares set, the
+// share plan replaces the block partitioner (routing and sub-tiling
+// stay deterministic, so LazySH remains legal).
 func NewJob(cfg Config) *mr.Job {
 	cfg = cfg.normalized()
+	var part mr.Partitioner = blockPartitioner{regions: cfg.Rows * cfg.Cols}
+	if cfg.Shares != nil {
+		part = cfg.Shares
+	}
 	return &mr.Job{
 		Name:           "thetajoin",
 		NewMapper:      func() mr.Mapper { return mapper{cfg: cfg} },
 		NewReducer:     func() mr.Reducer { return reducer{cfg: cfg} },
-		Partitioner:    blockPartitioner{regions: cfg.Rows * cfg.Cols},
+		Partitioner:    part,
 		NumReduceTasks: cfg.Reducers,
 		Deterministic:  true,
 	}

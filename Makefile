@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-all test-short test-cluster test-chaos smoke-service
+.PHONY: build test vet staticcheck race verify bench bench-all test-short test-cluster test-chaos smoke-service smoke-pipeline
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,19 @@ test:
 vet:
 	$(GO) vet ./...
 
+# staticcheck is optional locally (CI installs it): skip with a notice
+# when the binary is not on PATH.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
-verify: build vet race
+verify: build vet staticcheck race
 
 # Map-path benchmarks, published as BENCH_4.json (the baseline/default
 # sub-benchmark pairs become speedup + allocation-reduction rows), and
@@ -26,6 +35,7 @@ verify: build vet race
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMapBufferSpill|BenchmarkMapPathE2E|BenchmarkMergeIter' -benchmem ./internal/mr/ | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_4.json
 	$(GO) test -run '^$$' -bench 'BenchmarkSkewPartition' -benchmem ./internal/experiments/ | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_5.json
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineHandoff' -benchmem ./internal/experiments/ | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_6.json
 
 # Every benchmark in the repository, human-readable.
 bench-all:
@@ -52,3 +62,8 @@ test-chaos:
 # enforcement, SIGTERM drain, clean shutdown.
 smoke-service:
 	./scripts/service_smoke.sh
+
+# Pipeline smoke: submit the iterative-PageRank dag pipeline through
+# antctl against a real antserve daemon with two workers.
+smoke-pipeline:
+	./scripts/pipeline_smoke.sh

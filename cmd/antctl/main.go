@@ -6,6 +6,7 @@
 //
 //	antctl -server http://127.0.0.1:7070 submit -job exp/wordcount \
 //	    -spec '{"Scale":0.1,"Splits":8,"Reducers":4}' -tenant analytics -wait
+//	antctl pipeline -f spec.json -wait   # submit a dag pipeline from a spec file
 //	antctl status           # list all jobs
 //	antctl status -id 3     # one job, with progress
 //	antctl tail -id 3       # follow SSE progress until done
@@ -30,7 +31,7 @@ import (
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `antctl: usage: antctl [-server URL] <command> [flags]
-commands: submit, status, tail, output, cancel, workers, drain, health`)
+commands: submit, pipeline, status, tail, output, cancel, workers, drain, health`)
 	os.Exit(2)
 }
 
@@ -49,6 +50,8 @@ func main() {
 	switch cmd {
 	case "submit":
 		err = cmdSubmit(ctx, c, args)
+	case "pipeline":
+		err = cmdPipeline(ctx, c, args)
 	case "status":
 		err = cmdStatus(ctx, c, args)
 	case "tail":
@@ -107,6 +110,55 @@ func cmdSubmit(ctx context.Context, c *serve.Client, args []string) error {
 	printJSON(rec)
 	if rec.State != serve.StateSucceeded {
 		return fmt.Errorf("job %d %s: %s", rec.ID, rec.State, rec.Error)
+	}
+	return nil
+}
+
+// cmdPipeline submits a dag pipeline from a spec file. The file is a
+// SubmitRequest: {"name": "pagerank-iter", "spec": {...}, "tenant": "..."} —
+// name is the registered pipeline, spec its build parameters.
+func cmdPipeline(ctx context.Context, c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("pipeline", flag.ExitOnError)
+	file := fs.String("f", "", "pipeline spec file (JSON SubmitRequest; required)")
+	tenant := fs.String("tenant", "", "override the spec file's tenant")
+	prio := fs.Int("priority", 0, "job priority (higher first; default: tenant's)")
+	wait := fs.Bool("wait", false, "block until the pipeline finishes; exit non-zero unless it succeeds")
+	fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("pipeline: -f is required")
+	}
+	b, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	var req serve.SubmitRequest
+	if err := json.Unmarshal(b, &req); err != nil {
+		return fmt.Errorf("pipeline: parsing %s: %w", *file, err)
+	}
+	if req.Name == "" {
+		return fmt.Errorf("pipeline: %s has no \"name\"", *file)
+	}
+	if *tenant != "" {
+		req.Tenant = *tenant
+	}
+	if *prio != 0 {
+		req.Priority = prio
+	}
+	rec, err := c.SubmitPipeline(ctx, req)
+	if err != nil {
+		return err
+	}
+	printJSON(rec)
+	if !*wait {
+		return nil
+	}
+	rec, err = c.WaitJob(ctx, rec.ID, 200*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	printJSON(rec)
+	if rec.State != serve.StateSucceeded {
+		return fmt.Errorf("pipeline %d %s: %s", rec.ID, rec.State, rec.Error)
 	}
 	return nil
 }

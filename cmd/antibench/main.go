@@ -57,6 +57,7 @@ var registry = []experiment{
 	{"skew", "X4 extension: reducer load skew under LazySH (§6.2)", adapt(experiments.Skew)},
 	{"skewpart", "X5 extension: skew-aware adaptive partitioning (hash/range/split)", adapt(experiments.SkewPartition)},
 	{"thetashares", "X6 extension: SharesSkew allocation for 1-Bucket-Theta", adapt(experiments.ThetaShares)},
+	{"pagerank-iter", "X7 extension: iterative PageRank via dag pipeline (handoff vs chaining)", adapt(experiments.PipelineHandoff)},
 	{"sort", "OBS traced prefix-sort with forced Shared spilling (use with -trace)", adapt(experiments.Sort)},
 }
 

@@ -1,0 +1,21 @@
+package anticombine
+
+import (
+	"repro/internal/monoid"
+	"repro/internal/mr"
+)
+
+// WrapMonoid derives the job's combiner from a monoid declaration and
+// then applies the Anti-Combining transformation — one declaration
+// yields both the classic combiner (kept in the map phase when
+// opts.MapCombiner / the paper's flag C is set) and the EagerSH
+// partial-merge path, which collapses Shared occurrences in the reduce
+// phase through the same derived combiner. The monoid's laws (checked
+// by monoid.CheckLaws in the workload test suites) are exactly the
+// precondition both uses rely on: partial merges must reassociate and,
+// for cross-worker recombination, commute.
+func WrapMonoid(job *mr.Job, m monoid.Monoid, opts Options) *mr.Job {
+	w := *job
+	w.NewCombiner = monoid.Combiner(m)
+	return Wrap(&w, opts)
+}

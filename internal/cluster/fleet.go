@@ -542,9 +542,25 @@ func (f *Fleet) markDeadLocked(w *workerState, why string) {
 func (f *Fleet) finishJob(j *jobRun) {
 	f.mu.Lock()
 	delete(f.jobs, j.id)
+	if !j.spec.RetainWorkspace {
+		for _, w := range f.workers {
+			if !w.dead {
+				w.cleanups = append(w.cleanups, j.id)
+			}
+		}
+	}
+	f.mu.Unlock()
+}
+
+// ReleaseWorkspace sweeps a RetainWorkspace job's worker-side files —
+// called by the pipeline runner once no later stage still reads the
+// job's handoff output. Safe to call for unknown or already-swept job
+// ids (the worker-side sweep is an idempotent prefix delete).
+func (f *Fleet) ReleaseWorkspace(jobID int) {
+	f.mu.Lock()
 	for _, w := range f.workers {
 		if !w.dead {
-			w.cleanups = append(w.cleanups, j.id)
+			w.cleanups = append(w.cleanups, jobID)
 		}
 	}
 	f.mu.Unlock()

@@ -37,6 +37,24 @@ type JobSpec struct {
 	// integrity faults) are folded into the Result — attributable only
 	// when no other job shares the workers.
 	Exclusive bool
+	// Inputs, when non-empty, makes this a pipeline stage job: one map
+	// task per entry, fed from the entry (inline records or a retained
+	// handoff) instead of registry-built splits. The registry builder may
+	// then return zero splits.
+	Inputs []StageInput
+	// KeepOutput retains reduce output as per-partition handoff files in
+	// the job's worker workspaces (reported via JobHandle.Handoffs)
+	// instead of shipping records to the driver — the no-re-spill path a
+	// downstream stage consumes.
+	KeepOutput bool
+	// RetainWorkspace defers the finished job's workspace sweep until
+	// Fleet.ReleaseWorkspace — required while a later stage still reads
+	// this job's handoff files.
+	RetainWorkspace bool
+	// Homes seeds partition→worker placement (a previous stage's homes),
+	// so a stage's fetches and reduces land where its inputs already
+	// live. Dead or unknown workers are re-elected as usual.
+	Homes map[int]int
 	// OnEvent, when non-nil, observes this job's task events (in addition
 	// to the fleet's OnEvent). It must not call back into the fleet.
 	OnEvent func(Event)
@@ -97,6 +115,41 @@ func (h *JobHandle) Wait(ctx context.Context) (*mr.Result, error) {
 // Progress reports the job's current task completion.
 func (h *JobHandle) Progress() Progress { return h.j.progress() }
 
+// Handoff locates one kept reduce partition: the worker that holds it
+// and the segment describing the retained record file.
+type Handoff struct {
+	Worker int
+	Seg    SegInfo
+}
+
+// Handoffs returns the finished job's kept reduce output by partition
+// (KeepOutput jobs only; nil otherwise). Valid after Done.
+func (h *JobHandle) Handoffs() map[int]Handoff {
+	h.j.pmu.Lock()
+	defer h.j.pmu.Unlock()
+	if h.j.handoffs == nil {
+		return nil
+	}
+	out := make(map[int]Handoff, len(h.j.handoffs))
+	for p, hd := range h.j.handoffs {
+		out[p] = hd
+	}
+	return out
+}
+
+// Homes returns the job's final partition→worker placement, for seeding
+// the next stage's JobSpec.Homes. Valid after Done.
+func (h *JobHandle) Homes() map[int]int {
+	f := h.j.fleet
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[int]int, len(h.j.partHome))
+	for p, w := range h.j.partHome {
+		out[p] = w
+	}
+	return out
+}
+
 // Submit registers a job with the fleet and starts running it under
 // ctx; cancelling ctx cancels the job (running attempts are revoked on
 // workers via heartbeat). The job starts as soon as workers are
@@ -107,12 +160,19 @@ func (f *Fleet) Submit(ctx context.Context, spec JobSpec) (*JobHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(splits) == 0 {
+	nMap := len(splits)
+	if len(spec.Inputs) > 0 {
+		// Stage jobs take their inputs from the spec, not the registry.
+		nMap = len(spec.Inputs)
+	} else if nMap == 0 {
 		return nil, fmt.Errorf("cluster: job %q built zero splits", spec.Ref.Name)
 	}
 	nRed := job.NumReduceTasks
 	if nRed <= 0 {
 		nRed = 4 // mirror mr's normalization default
+	}
+	if job.AlignedInput && nMap != nRed {
+		return nil, fmt.Errorf("cluster: aligned job %q needs %d inputs, got %d", spec.Ref.Name, nRed, nMap)
 	}
 	f.mu.Lock()
 	if f.shutdown {
@@ -123,10 +183,17 @@ func (f *Fleet) Submit(ctx context.Context, spec JobSpec) (*JobHandle, error) {
 	f.nextJob++
 	j := &jobRun{
 		id: id, spec: spec, fleet: f, weight: spec.Weight,
-		nMap: len(splits), nRed: nRed,
+		nMap: nMap, nRed: nRed,
+		aligned:  job.AlignedInput,
+		keep:     spec.KeepOutput,
 		meta:     make(map[string]taskMeta),
 		partHome: make(map[int]int),
 		doneTask: make(map[string]bool),
+	}
+	for p, wid := range spec.Homes {
+		if w := f.workers[wid]; w != nil && !w.dead && !w.draining && p >= 0 && p < nRed {
+			j.partHome[p] = wid
+		}
 	}
 	f.jobs[id] = j
 	width := f.totalSlotsLocked()
@@ -140,6 +207,13 @@ func (f *Fleet) Submit(ctx context.Context, spec JobSpec) (*JobHandle, error) {
 	}()
 	return h, nil
 }
+
+// ErrHandoffLost marks a stage job whose handoff input died with its
+// holding worker. It is terminal for this job — the upstream stage's
+// output is gone, and only the pipeline runner (which still owns the
+// producing stage) can re-run it; dag.Runner converts it into a
+// stage-level DepLostError.
+var ErrHandoffLost = errors.New("cluster: stage handoff input lost")
 
 type taskMeta struct {
 	group     string
@@ -155,26 +229,46 @@ type taskMeta struct {
 // partHome and enqueue/dispatch state are guarded by the fleet's mutex;
 // progress counters by the job's own.
 type jobRun struct {
-	id     int
-	spec   JobSpec
-	fleet  *Fleet
-	weight int
-	nMap   int
-	nRed   int
-	meta   map[string]taskMeta
+	id      int
+	spec    JobSpec
+	fleet   *Fleet
+	weight  int
+	nMap    int
+	nRed    int
+	aligned bool // split i's map output routes wholly to partition i
+	keep    bool // reduce output retained worker-side as handoff files
+	meta    map[string]taskMeta
 
 	partHome map[int]int // reduce partition -> home worker id; fleet.mu
 
 	pmu      sync.Mutex
 	doneTask map[string]bool
 	failed   int
+	handoffs map[int]Handoff // kept reduce output, by partition
+}
+
+// fetchTasks enumerates the (partition, map) fetch pairs the job's
+// graph contains: all-to-all normally, the diagonal alone when aligned.
+func (j *jobRun) fetchTasks(p int) []int {
+	if j.aligned {
+		return []int{p}
+	}
+	idx := make([]int, j.nMap)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
 }
 
 func (j *jobRun) progress() Progress {
 	j.pmu.Lock()
 	defer j.pmu.Unlock()
+	fetchesTotal := j.nMap * j.nRed
+	if j.aligned {
+		fetchesTotal = j.nRed
+	}
 	p := Progress{
-		MapsTotal: j.nMap, FetchesTotal: j.nMap * j.nRed, ReducesTotal: j.nRed,
+		MapsTotal: j.nMap, FetchesTotal: fetchesTotal, ReducesTotal: j.nRed,
 		FailedAttempts: j.failed,
 	}
 	for name := range j.doneTask {
@@ -252,7 +346,7 @@ func (j *jobRun) buildTasks() []sched.Task {
 		})
 	}
 	for p := 0; p < j.nRed; p++ {
-		for i := 0; i < j.nMap; i++ {
+		for _, i := range j.fetchTasks(p) {
 			name := mr.FetchTaskName(p, i)
 			j.meta[name] = taskMeta{group: mr.TaskGroupFetch, partition: p, mapIndex: i}
 			tasks = append(tasks, sched.Task{
@@ -263,9 +357,10 @@ func (j *jobRun) buildTasks() []sched.Task {
 	for p := 0; p < j.nRed; p++ {
 		name := mr.ReduceTaskName(p)
 		j.meta[name] = taskMeta{group: mr.TaskGroupReduce, partition: p}
-		deps := make([]string, j.nMap)
-		for i := range deps {
-			deps[i] = mr.FetchTaskName(p, i)
+		idx := j.fetchTasks(p)
+		deps := make([]string, len(idx))
+		for d, i := range idx {
+			deps[d] = mr.FetchTaskName(p, i)
 		}
 		tasks = append(tasks, sched.Task{Name: name, Group: mr.TaskGroupReduce, Deps: deps})
 	}
@@ -293,10 +388,11 @@ type fetchValue struct {
 }
 
 type reduceValue struct {
-	worker int
-	recs   []mr.Record
-	stats  mr.Stats
-	dur    time.Duration
+	worker  int
+	recs    []mr.Record
+	handoff *SegInfo // set instead of recs when the lease carried Keep
+	stats   mr.Stats
+	dur     time.Duration
 }
 
 // Execute implements sched.Executor: queue the task as a lease with the
@@ -318,6 +414,26 @@ func (j *jobRun) Execute(ctx context.Context, task *sched.Task, tc *sched.TaskCo
 	switch meta.group {
 	case mr.TaskGroupMap:
 		lease.MapTask = meta.mapTask // any worker may take it
+		if len(j.spec.Inputs) > 0 {
+			in := j.spec.Inputs[meta.mapTask]
+			lease.Input = &in
+			if in.Handoff != nil {
+				// A handoff input lives on the worker that reduced the
+				// previous stage. Pin the lease there when it is alive so
+				// stage-to-stage data never moves; a draining holder still
+				// serves segment fetches, so any worker can pull the file
+				// remotely. A dead holder means the bytes are gone — only
+				// the pipeline runner can rebuild them.
+				switch holder := f.workers[in.Worker]; {
+				case holder == nil || holder.dead:
+					f.mu.Unlock()
+					return nil, fmt.Errorf("%w: map %d input on dead worker %d",
+						ErrHandoffLost, meta.mapTask, in.Worker)
+				case !holder.draining:
+					pin = holder.id
+				}
+			}
+		}
 
 	case mr.TaskGroupFetch:
 		mv, ok := tc.Dep(mr.MapTaskName(meta.mapIndex)).(mapValue)
@@ -369,6 +485,7 @@ func (j *jobRun) Execute(ctx context.Context, task *sched.Task, tc *sched.TaskCo
 		lease.Partition = meta.partition
 		lease.Locals = locals
 		lease.LocalTasks = localTasks
+		lease.Keep = j.keep
 		pin = home.id
 	}
 
@@ -429,7 +546,7 @@ func (j *jobRun) reduceInputsLocked(p int, tc *sched.TaskContext) (home *workerS
 			home = w
 		}
 	}
-	for i := 0; i < j.nMap; i++ {
+	for _, i := range j.fetchTasks(p) {
 		name := mr.FetchTaskName(p, i)
 		fv, ok := tc.Dep(name).(fetchValue)
 		if !ok {
@@ -494,7 +611,7 @@ func (j *jobRun) settle(task *sched.Task, pend *pendingLease, rep *ReportArgs) (
 		}, nil
 	default:
 		return reduceValue{
-			worker: rep.WorkerID, recs: rep.Records,
+			worker: rep.WorkerID, recs: rep.Records, handoff: rep.Handoff,
 			stats: rep.Stats, dur: time.Duration(rep.DurNs),
 		}, nil
 	}
@@ -517,7 +634,7 @@ func (j *jobRun) assemble(report *sched.Report, start time.Time) *mr.Result {
 		res.MapTaskTimes[i] = mv.dur
 	}
 	for p := 0; p < j.nRed; p++ {
-		for i := 0; i < j.nMap; i++ {
+		for _, i := range j.fetchTasks(p) {
 			fv := report.Value(mr.FetchTaskName(p, i)).(fetchValue)
 			stats.Accumulate(fv.stats)
 			res.ShufflePerPartition[p] += fv.flow
@@ -527,8 +644,16 @@ func (j *jobRun) assemble(report *sched.Report, start time.Time) *mr.Result {
 		}
 		rv := report.Value(mr.ReduceTaskName(p)).(reduceValue)
 		stats.Accumulate(rv.stats)
-		res.Output[p] = rv.recs
+		res.Output[p] = rv.recs // nil when the partition was kept as a handoff
 		res.ReduceTaskTimes[p] = rv.dur
+		if rv.handoff != nil {
+			j.pmu.Lock()
+			if j.handoffs == nil {
+				j.handoffs = make(map[int]Handoff, j.nRed)
+			}
+			j.handoffs[p] = Handoff{Worker: rv.worker, Seg: *rv.handoff}
+			j.pmu.Unlock()
+		}
 	}
 	if s, e, ok := sched.Span(report.Attempts, mr.TaskGroupFetch); ok {
 		meas.Extent = e.Sub(s)

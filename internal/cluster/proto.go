@@ -112,6 +112,21 @@ type LeaseReply struct {
 	Lease   TaskLease
 }
 
+// StageInput is one map task's input when a job runs as a pipeline
+// stage: either inline records shipped from the driver (a pipeline's
+// initial input) or a handoff — a previous stage job's reduce output,
+// retained as a framed record file in that job's workspace on the
+// worker that reduced it. Handoff inputs are leased to the holding
+// worker when it is alive, so stage-to-stage data never moves; a
+// draining holder's file is fetched over the segment server instead.
+type StageInput struct {
+	Records []mr.Record
+	Handoff *SegInfo
+	// Worker is the handoff holder's worker id (for liveness checks and
+	// placement pinning).
+	Worker int
+}
+
 // TaskLease is one task attempt of one job assigned to a worker.
 type TaskLease struct {
 	JobID   int
@@ -120,8 +135,17 @@ type TaskLease struct {
 	Attempt int
 
 	// Map leases: the split index. Workers rebuild splits from the job
-	// registry, so only the index travels.
+	// registry, so only the index travels — except for pipeline stage
+	// jobs, whose Input carries the stage's real input (inline records
+	// or a handoff reference) instead.
 	MapTask int
+	Input   *StageInput
+
+	// Keep marks a reduce lease of a stage job whose output feeds a
+	// later stage: the worker writes the reduce output to a handoff
+	// file in the job's workspace and reports its SegInfo instead of
+	// shipping the records to the driver.
+	Keep bool
 
 	// Fetch leases: pull Sources (segments on peer workers) to local
 	// files. MapIndex is the producing map task, for stable local names.
@@ -159,6 +183,7 @@ type ReportArgs struct {
 	FetchNs   int64       // fetch: time spent in transfers
 	Fetches   int         // fetch: segment transfers performed
 	Records   []mr.Record // reduce: emitted output
+	Handoff   *SegInfo    // reduce with Keep: the retained handoff file
 
 	// Stats is the attempt's counter snapshot (fresh counters per
 	// attempt, so deltas sum cleanly across committed attempts).

@@ -404,12 +404,22 @@ func (w *worker) runLease(ctx context.Context, l TaskLease) *ReportArgs {
 	err = nil
 	switch l.Group {
 	case mr.TaskGroupMap:
-		if l.MapTask < 0 || l.MapTask >= len(wj.splits) {
+		var split mr.Split
+		if l.Input != nil {
+			// Stage jobs carry their input on the lease (inline records or
+			// a handoff reference) instead of registry-built splits.
+			split, err = w.stageSplit(actx, wj, l, rep)
+			if err != nil {
+				break
+			}
+		} else if l.MapTask < 0 || l.MapTask >= len(wj.splits) {
 			err = fmt.Errorf("cluster: job %d has no split %d", l.JobID, l.MapTask)
 			break
+		} else {
+			split = wj.splits[l.MapTask]
 		}
 		var segs []mr.SegmentInfo
-		segs, err = mr.ExecMapTask(actx, wj.job, afs, counters, l.MapTask, l.Attempt, wj.splits[l.MapTask])
+		segs, err = mr.ExecMapTask(actx, wj.job, afs, counters, l.MapTask, l.Attempt, split)
 		for _, s := range segs {
 			rep.Segs = append(rep.Segs, SegInfo{
 				Addr: w.srv.Addr(), File: s.File, Partition: s.Partition,
@@ -437,7 +447,31 @@ func (w *worker) runLease(ctx context.Context, l TaskLease) *ReportArgs {
 			rep.Errmsg = fmt.Sprintf("cluster: %d reduce input segments missing locally", len(rep.LostDeps))
 			return rep
 		}
-		rep.Records, err = mr.ExecReduceTask(actx, wj.job, afs, counters, l.Partition, l.Attempt, locals)
+		var recs []mr.Record
+		recs, err = mr.ExecReduceTask(actx, wj.job, afs, counters, l.Partition, l.Attempt, locals)
+		if err != nil {
+			break
+		}
+		if l.Keep {
+			// The output feeds a later pipeline stage: retain it here as a
+			// handoff file (attempt-scoped, so a speculative loser's write
+			// cannot clobber the winner's) and report its location instead
+			// of shipping the records to the driver.
+			name := fmt.Sprintf("%s/handoff/p%04d.a%d", wj.job.Workspace, l.Partition, l.Attempt)
+			if err = mr.WriteRecordFile(afs, name, recs); err != nil {
+				break
+			}
+			var raw int64
+			for _, r := range recs {
+				raw += int64(len(r.Key) + len(r.Value))
+			}
+			rep.Handoff = &SegInfo{
+				Addr: w.srv.Addr(), File: name, Partition: l.Partition,
+				Records: int64(len(recs)), RawBytes: raw,
+			}
+		} else {
+			rep.Records = recs
+		}
 	}
 
 	rep.DurNs = time.Since(t0).Nanoseconds()
@@ -452,6 +486,52 @@ func (w *worker) runLease(ctx context.Context, l TaskLease) *ReportArgs {
 		rep.Transient = actx.Err() == nil || w.drainKill.Load()
 	}
 	return rep
+}
+
+// stageSplit materializes a stage map lease's input as an mr.Split:
+// inline records become a MemSplit; a handoff reference resolves to the
+// local record file when this worker holds it (the common, pinned case
+// — zero bytes moved between stages), and is otherwise pulled from the
+// holder's segment server into this job's workspace. A failed pull
+// marks the holder unreachable, feeding the fleet's liveness evidence.
+func (w *worker) stageSplit(ctx context.Context, wj *workerJob, l TaskLease, rep *ReportArgs) (mr.Split, error) {
+	in := l.Input
+	if in.Handoff == nil {
+		return &mr.MemSplit{Recs: in.Records}, nil
+	}
+	h := in.Handoff
+	if _, err := w.fs.Size(h.File); err == nil {
+		return &mr.RecordFileSplit{FS: w.fs, Name: h.File}, nil
+	}
+	local := fmt.Sprintf("%s/handin/m%04d.a%d", wj.job.Workspace, l.MapTask, l.Attempt)
+	rc, size, err := w.pool.Fetch(ctx, h.Addr, h.File)
+	if err != nil {
+		rep.Unreachable = appendUnique(rep.Unreachable, h.Addr)
+		return nil, fmt.Errorf("cluster: fetching handoff %s from %s: %w", h.File, h.Addr, err)
+	}
+	f, err := w.fs.Create(local)
+	if err != nil {
+		rc.Close()
+		return nil, err
+	}
+	// Handoff files are length-framed record files, not CRC32C-framed
+	// segments, so the transfer is guarded by the size check (and the
+	// record framing itself, which a truncated read trips on) rather
+	// than the segment integrity verifier.
+	n, err := io.Copy(f, rc)
+	rc.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil && n != size {
+		err = fmt.Errorf("fetched %d bytes, want %d", n, size)
+	}
+	if err != nil {
+		w.fs.Remove(local)
+		rep.Unreachable = appendUnique(rep.Unreachable, h.Addr)
+		return nil, fmt.Errorf("cluster: copying handoff %s from %s: %w", h.File, h.Addr, err)
+	}
+	return &mr.RecordFileSplit{FS: w.fs, Name: local}, nil
 }
 
 // runFetch pulls the lease's source segments from peer segment servers

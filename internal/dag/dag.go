@@ -1,0 +1,119 @@
+// Package dag is the multi-job pipeline runner: it executes a DAG of
+// MapReduce stages — optionally iterated to convergence — over one
+// engine, feeding each stage's partitioned reduce output to the next
+// stage without re-spilling through the driver. In-process, a stage's
+// output partitions become the next stage's splits directly; on a
+// cluster fleet, reduce output is retained worker-side as handoff
+// files and the next stage's map tasks are leased to the workers that
+// already hold them, so stage-to-stage data never crosses the network
+// (partition homes carry across stages, and a stage that declares
+// mr.Job.AlignedInput skips the all-to-all shuffle entirely).
+//
+// The runner reuses internal/sched per iteration, so stage retries,
+// backoff, and lost-input re-execution (a handoff dying with its
+// worker re-runs the producing stage via DepLostError) all follow the
+// same discipline as task scheduling inside a job. Stage workspaces
+// are swept as soon as their output is no longer needed — including
+// when a downstream stage fails permanently.
+package dag
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mr"
+)
+
+// ErrInputLost marks a stage whose input data no longer exists (a
+// fleet handoff died with its worker). The runner converts it into a
+// sched.DepLostError against the producing stage, which re-runs it.
+var ErrInputLost = errors.New("dag: stage input lost")
+
+// Stage is one MapReduce job in a pipeline.
+type Stage struct {
+	// Name identifies the stage within its pipeline.
+	Name string
+	// From names the upstream stage whose reduce output this stage maps
+	// over; "" means the pipeline's input (the initial records on
+	// iteration 0, the Carry stage's previous output afterwards).
+	From string
+	// Build constructs the stage's job for one iteration — the
+	// in-process engine's builder. The job's input arrives as one split
+	// per upstream partition, so builders typically return a job whose
+	// NumReduceTasks matches the upstream stage's (and may set
+	// AlignedInput when the stage preserves partitioning).
+	Build func(iter int) *mr.Job
+	// Ref names the registered cluster job for one iteration — the
+	// fleet engine's builder. The registered builder may return zero
+	// splits: stage inputs travel through JobSpec.Inputs.
+	Ref func(iter int) cluster.JobRef
+}
+
+// Pipeline is a DAG of stages, run once or iterated to convergence.
+type Pipeline struct {
+	Name   string
+	Stages []Stage
+	// Carry names the stage whose output becomes the next iteration's
+	// pipeline input (consumed by From=="" stages). Empty for a
+	// single-pass pipeline.
+	Carry string
+	// Output names the stage whose final-iteration records Run returns.
+	Output string
+	// MaxIters bounds the iteration count (default 1).
+	MaxIters int
+	// Until, when non-nil, is evaluated after each iteration over the
+	// terminal stages' collected records (stage name → per-partition
+	// records); returning true stops the loop before MaxIters.
+	Until func(iter int, terminal map[string][][]mr.Record) (bool, error)
+}
+
+// consumers returns, per stage name, whether any same-iteration stage
+// or the carry edge consumes its output (kept engine-side), and
+// whether the stage is terminal (records collected to the driver).
+func (p *Pipeline) kept(name string) bool {
+	for _, s := range p.Stages {
+		if s.From == name {
+			return true
+		}
+	}
+	return p.Carry == name
+}
+
+// Validate checks the pipeline's shape: unique stage names, From
+// edges referencing earlier stages (the stage list is its own
+// topological order), and Carry/Output naming real stages.
+func (p *Pipeline) Validate() error {
+	if p.Name == "" {
+		return errors.New("dag: pipeline has no name")
+	}
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("dag: pipeline %q has no stages", p.Name)
+	}
+	seen := make(map[string]bool, len(p.Stages))
+	for _, s := range p.Stages {
+		if s.Name == "" {
+			return fmt.Errorf("dag: pipeline %q has an unnamed stage", p.Name)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("dag: pipeline %q: duplicate stage %q", p.Name, s.Name)
+		}
+		if s.From != "" && !seen[s.From] {
+			// Earlier-only references keep the stage list a topological
+			// order and reject cycles and self-edges in one check.
+			return fmt.Errorf("dag: pipeline %q: stage %q reads %q, which is not an earlier stage",
+				p.Name, s.Name, s.From)
+		}
+		seen[s.Name] = true
+	}
+	if p.Carry != "" && !seen[p.Carry] {
+		return fmt.Errorf("dag: pipeline %q: carry stage %q does not exist", p.Name, p.Carry)
+	}
+	if p.Output != "" && !seen[p.Output] {
+		return fmt.Errorf("dag: pipeline %q: output stage %q does not exist", p.Name, p.Output)
+	}
+	if p.MaxIters > 1 && p.Carry == "" {
+		return fmt.Errorf("dag: pipeline %q iterates without a carry stage", p.Name)
+	}
+	return nil
+}

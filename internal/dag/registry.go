@@ -1,0 +1,64 @@
+package dag
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mr"
+)
+
+// The pipeline registry mirrors cluster's job registry: named builders
+// turn an opaque spec into a Pipeline plus its initial inputs, so a
+// job service can admit and run pipelines from a wire reference
+// without shipping closures. Builders must be deterministic in the
+// spec, and every stage they produce must register its per-iteration
+// cluster jobs too when the pipeline is meant to run on a fleet.
+var (
+	regMu    sync.RWMutex
+	builders = make(map[string]func(spec []byte) (*Pipeline, [][]mr.Record, error))
+)
+
+// RegisterPipeline installs a pipeline builder under name. Duplicate
+// registration panics, matching cluster.RegisterJob.
+func RegisterPipeline(name string, build func(spec []byte) (*Pipeline, [][]mr.Record, error)) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := builders[name]; dup {
+		panic(fmt.Sprintf("dag: pipeline %q registered twice", name))
+	}
+	builders[name] = build
+}
+
+// BuildPipeline materializes a registered pipeline from its spec.
+func BuildPipeline(name string, spec []byte) (*Pipeline, [][]mr.Record, error) {
+	regMu.RLock()
+	build := builders[name]
+	regMu.RUnlock()
+	if build == nil {
+		return nil, nil, fmt.Errorf("dag: no pipeline registered as %q", name)
+	}
+	return build(spec)
+}
+
+// ValidatePipeline checks that a reference builds a well-formed
+// pipeline without running it — admission-time validation for job
+// services. fleet additionally requires every stage to carry a fleet
+// job reference.
+func ValidatePipeline(name string, spec []byte, fleet bool) error {
+	p, _, err := BuildPipeline(name, spec)
+	if err != nil {
+		return err
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for _, s := range p.Stages {
+		if fleet && s.Ref == nil {
+			return fmt.Errorf("dag: pipeline %q stage %q cannot run on a fleet (no job ref)", name, s.Name)
+		}
+		if !fleet && s.Build == nil {
+			return fmt.Errorf("dag: pipeline %q stage %q cannot run in process (no builder)", name, s.Name)
+		}
+	}
+	return nil
+}

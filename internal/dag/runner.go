@@ -1,0 +1,274 @@
+package dag
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/mr"
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// Config tunes one pipeline run.
+type Config struct {
+	// Engine executes the stage jobs (InProcess or FleetEngine).
+	Engine Engine
+	// Tracer receives pipeline and stage spans (nil-safe).
+	Tracer *obs.Tracer
+	// MaxStageAttempts caps attempts per stage per iteration, counting
+	// retries but not lost-input re-executions (default 1). Re-running a
+	// producing stage because its handoff died follows sched's
+	// DepLostError path and never charges this budget.
+	MaxStageAttempts int
+}
+
+// StageStat logs one successful stage job run.
+type StageStat struct {
+	Iter    int           `json:"iter"`
+	Stage   string        `json:"stage"`
+	Attempt int           `json:"attempt"`
+	Kept    bool          `json:"kept"`
+	Wall    time.Duration `json:"wall_ns"`
+	// ShuffleBytes is the stage job's own shuffle volume (post-codec).
+	ShuffleBytes int64 `json:"shuffle_bytes"`
+	// MeasuredBytes is the real network transfer on a fleet, 0 in process.
+	MeasuredBytes int64 `json:"measured_bytes"`
+	OutputRecords int64 `json:"output_records"`
+}
+
+// Result is a finished pipeline run.
+type Result struct {
+	// Iterations actually executed (≤ MaxIters; fewer when Until fired).
+	Iterations int
+	// Output is the Output stage's final per-partition records.
+	Output [][]mr.Record
+	// Stats accumulates the committed stage jobs' stats.
+	Stats mr.Stats
+	// Stages logs every successful stage job run in completion order.
+	Stages []StageStat
+	// DriverBytes counts record bytes that crossed the driver boundary:
+	// inline inputs shipped in, terminal and collected outputs shipped
+	// back. The re-spill traffic a naive job-per-stage chain pays — every
+	// stage's full output in and out — shows up here.
+	DriverBytes int64
+}
+
+// Run executes the pipeline over inputs (pre-partitioned: one record
+// slice per map task of the From=="" stages) until Until fires or
+// MaxIters is reached. Stage outputs flow engine-side between stages;
+// only terminal stages' records visit the driver.
+func Run(ctx context.Context, p *Pipeline, inputs [][]mr.Record, cfg Config) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Engine == nil {
+		return nil, errors.New("dag: no engine configured")
+	}
+	maxIters := p.MaxIters
+	if maxIters <= 0 {
+		maxIters = 1
+	}
+	maxAttempts := cfg.MaxStageAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 1
+	}
+
+	span := cfg.Tracer.Start(obs.KindPipeline, p.Name,
+		obs.Int("stages", int64(len(p.Stages))), obs.Int("max_iters", int64(maxIters)))
+
+	res := &Result{}
+	var mu sync.Mutex // guards outstanding and res.Stages during an iteration
+	outstanding := make(map[*StageResult]struct{})
+	release := func(sr *StageResult) {
+		if sr == nil {
+			return
+		}
+		mu.Lock()
+		_, held := outstanding[sr]
+		delete(outstanding, sr)
+		mu.Unlock()
+		if held {
+			cfg.Engine.Release(sr)
+		}
+	}
+	// Failure backstop: whatever the runner still holds — kept handoffs,
+	// retained worker workspaces — is swept on every exit path, so a
+	// permanently failed downstream stage cannot leak its upstreams'
+	// intermediate files.
+	defer func() {
+		mu.Lock()
+		held := make([]*StageResult, 0, len(outstanding))
+		for sr := range outstanding {
+			held = append(held, sr)
+		}
+		mu.Unlock()
+		for _, sr := range held {
+			release(sr)
+		}
+	}()
+
+	var carry *StageResult
+	for iter := 0; iter < maxIters; iter++ {
+		iter := iter
+		var created []*StageResult
+		tasks := make([]sched.Task, 0, len(p.Stages))
+		for si := range p.Stages {
+			s := &p.Stages[si]
+			var deps []string
+			if s.From != "" {
+				deps = []string{s.From}
+			}
+			keep := p.kept(s.Name)
+			tasks = append(tasks, sched.Task{
+				Name: s.Name, Group: "stage", Deps: deps,
+				Run: func(ctx context.Context, tc *sched.TaskContext) (any, error) {
+					run := StageRun{Pipeline: p.Name, Stage: s, Iter: iter, Keep: keep}
+					switch {
+					case s.From != "":
+						in, ok := tc.Dep(s.From).(*StageResult)
+						if !ok {
+							return nil, fmt.Errorf("dag: stage %q missing input from %q", s.Name, s.From)
+						}
+						run.Input = in
+					case carry != nil:
+						run.Input = carry
+					default:
+						run.Inline = inputs
+						mu.Lock()
+						res.DriverBytes += partsBytes(inputs)
+						mu.Unlock()
+					}
+					sp := cfg.Tracer.Start(obs.KindStage,
+						fmt.Sprintf("%s/%s", p.Name, s.Name),
+						obs.Int("iter", int64(iter)), obs.Int("attempt", int64(tc.Attempt)))
+					t0 := time.Now()
+					sr, err := cfg.Engine.RunStage(ctx, run)
+					if err != nil {
+						sp.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
+						if errors.Is(err, ErrInputLost) && s.From != "" {
+							// The upstream stage's retained output is gone;
+							// re-running it (and then this stage) is sched's
+							// DepLostError protocol, budget-free like any
+							// other lost-output re-execution.
+							return nil, &sched.DepLostError{Deps: []string{s.From}, Err: err}
+						}
+						return nil, err
+					}
+					sp.End(obs.Str("outcome", "success"),
+						obs.Int("shuffle_bytes", sr.Stats.ShuffleBytes))
+					stat := StageStat{
+						Iter: iter, Stage: s.Name, Attempt: tc.Attempt, Kept: keep,
+						Wall: time.Since(t0), ShuffleBytes: sr.Stats.ShuffleBytes,
+						OutputRecords: sr.Stats.ReduceOutputRecords,
+					}
+					if sr.Measured != nil {
+						stat.MeasuredBytes = sr.Measured.Bytes
+					}
+					mu.Lock()
+					created = append(created, sr)
+					outstanding[sr] = struct{}{}
+					res.Stages = append(res.Stages, stat)
+					mu.Unlock()
+					return sr, nil
+				},
+			})
+		}
+		// Lost-input re-execution gets its own budget on top of the retry
+		// cap: a stage whose handoff died with its worker re-runs even
+		// when stage retries are disabled.
+		scfg := sched.Config{Workers: len(tasks), MaxAttempts: maxAttempts, MaxReexecs: maxAttempts + 2}
+		if maxAttempts > 1 {
+			scfg.Retryable = func(err error) bool {
+				return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+			}
+		}
+		report, err := sched.Run(ctx, tasks, scfg)
+		if err != nil {
+			span.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
+			return nil, err
+		}
+		res.Iterations = iter + 1
+
+		terminal := make(map[string][][]mr.Record)
+		for _, s := range p.Stages {
+			sr := report.Value(s.Name).(*StageResult)
+			res.Stats.Accumulate(sr.Stats)
+			if !p.kept(s.Name) {
+				terminal[s.Name] = sr.Records
+				mu.Lock()
+				res.DriverBytes += partsBytes(sr.Records)
+				mu.Unlock()
+			}
+		}
+
+		var newCarry *StageResult
+		if p.Carry != "" {
+			newCarry = report.Value(p.Carry).(*StageResult)
+		}
+		done := iter == maxIters-1
+		if p.Until != nil {
+			stop, err := p.Until(iter, terminal)
+			if err != nil {
+				span.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
+				return nil, err
+			}
+			done = done || stop
+		}
+		if done {
+			if p.Output != "" {
+				osr := report.Value(p.Output).(*StageResult)
+				if osr.Records != nil {
+					res.Output = osr.Records
+				} else {
+					out, err := cfg.Engine.Collect(ctx, osr)
+					if err != nil {
+						span.End(obs.Str("outcome", "failed"), obs.Str("err", err.Error()))
+						return nil, err
+					}
+					res.Output = out
+					mu.Lock()
+					res.DriverBytes += partsBytes(out)
+					mu.Unlock()
+				}
+			}
+			break
+		}
+		// Iteration k is committed: everything produced this round except
+		// the carry is dead, as is iteration k-1's carry (kept alive until
+		// now so a lost-input re-run of a From=="" stage could re-read it).
+		mu.Lock()
+		toFree := make([]*StageResult, 0, len(created))
+		for _, sr := range created {
+			if sr != newCarry {
+				toFree = append(toFree, sr)
+			}
+		}
+		mu.Unlock()
+		for _, sr := range toFree {
+			release(sr)
+		}
+		if carry != nil && carry != newCarry {
+			release(carry)
+		}
+		carry = newCarry
+	}
+
+	span.End(obs.Str("outcome", "success"),
+		obs.Int("iterations", int64(res.Iterations)),
+		obs.Int("driver_bytes", res.DriverBytes))
+	return res, nil
+}
+
+// partsBytes sums key+value bytes across partitioned records.
+func partsBytes(parts [][]mr.Record) int64 {
+	var n int64
+	for _, part := range parts {
+		for _, r := range part {
+			n += int64(len(r.Key) + len(r.Value))
+		}
+	}
+	return n
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+// TestPipelineHandoff asserts X7's claims: the dag pipeline produces
+// byte-identical ranks to job-per-iteration chaining while moving a
+// fraction of the driver traffic.
+func TestPipelineHandoff(t *testing.T) {
+	res, err := PipelineHandoff(Config{Scale: 0.1, Reducers: 4, Splits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("pipeline and chained outputs differ")
+	}
+	if res.Iterations != 5 {
+		t.Fatalf("ran %d iterations, want 5", res.Iterations)
+	}
+	chained, pipeline := res.Rows[0], res.Rows[1]
+	if pipeline.DriverBytes >= chained.DriverBytes {
+		t.Fatalf("pipeline moved %d driver bytes, chained moved %d — expected a reduction",
+			pipeline.DriverBytes, chained.DriverBytes)
+	}
+	// The rank structs dominate the data; deleting their per-iteration
+	// driver round trips should cut driver traffic by well over half.
+	if res.DriverSavedFactor < 2 {
+		t.Fatalf("driver re-spill reduction %.2fx, want ≥ 2x", res.DriverSavedFactor)
+	}
+	// Shuffle volume is a property of the jobs, not the chaining
+	// strategy: both executions run the same map→reduce work.
+	if pipeline.ShuffleBytes != chained.ShuffleBytes {
+		t.Fatalf("shuffle bytes differ: pipeline %d, chained %d", pipeline.ShuffleBytes, chained.ShuffleBytes)
+	}
+}

@@ -1,0 +1,67 @@
+package monoid
+
+import (
+	"repro/internal/mr"
+)
+
+// combinerReducer is the mr.Reducer derived from a Monoid: fold every
+// value of the group into a fresh state and emit its encoding.
+type combinerReducer struct {
+	m     Monoid
+	final func(key []byte, s any, out mr.Emitter) error
+}
+
+func (r *combinerReducer) Setup(*mr.TaskInfo, mr.Emitter) error { return nil }
+
+func (r *combinerReducer) Reduce(key []byte, values mr.ValueIter, out mr.Emitter) error {
+	s := r.m.Identity()
+	var err error
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		s, err = r.m.Absorb(s, v)
+		if err != nil {
+			return err
+		}
+	}
+	if r.final != nil {
+		return r.final(key, s, out)
+	}
+	return r.m.EmitState(key, s, out)
+}
+
+func (r *combinerReducer) Cleanup(mr.Emitter) error { return nil }
+
+// Combiner derives the classic map-side combiner from a monoid
+// declaration: per key group, absorb all values and emit the partial
+// state. Because EmitState round-trips through Absorb, the derived
+// combiner is safe to apply repeatedly (map spills, merged spills,
+// reduce-side partial aggregation) — exactly the closure property the
+// law checkers verify.
+func Combiner(m Monoid) func() mr.Reducer {
+	return func() mr.Reducer { return &combinerReducer{m: m} }
+}
+
+// Reducer derives the final reducer. With final == nil the reduce
+// output is the state encoding itself (aggregate jobs like wordcount
+// and skewagg, whose reducer IS their combiner). A non-nil final
+// renders the fully merged state into the job's output format instead
+// (querysuggest's top-k rendering, pagerank's rank update).
+func Reducer(m Monoid, final func(key []byte, s any, out mr.Emitter) error) func() mr.Reducer {
+	return func() mr.Reducer { return &combinerReducer{m: m, final: final} }
+}
+
+// InMapper derives the in-mapper combining wrapper
+// (mr.InMapperCombining) from a monoid: the per-mapper hash table's
+// fold is FoldValue over m. Requires a single-valued monoid — states
+// must emit exactly one record — which holds for sum-like aggregates;
+// FoldValue errors loudly otherwise, failing the map task rather than
+// silently corrupting output.
+func InMapper(newMapper func() mr.Mapper, m Monoid, maxEntries int) func() mr.Mapper {
+	combine := func(key, acc, v []byte) ([]byte, error) {
+		return FoldValue(m, key, acc, v)
+	}
+	return mr.InMapperCombiningErr(newMapper, combine, maxEntries)
+}

@@ -1,0 +1,237 @@
+package monoid
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mr"
+)
+
+// LawConfig drives CheckLaws. Values is the only required field: it
+// generates one batch of encoded values (as the workload's map phase
+// would emit them) from the seeded source.
+type LawConfig struct {
+	// Seed seeds the deterministic generator (0 = seed 1).
+	Seed int64
+	// Trials is the number of random trials (0 = 64).
+	Trials int
+	// Key generates the group key for a trial. Nil = fixed key "k".
+	Key func(r *rand.Rand) []byte
+	// Values generates a non-empty batch of encoded values for one key.
+	Values func(r *rand.Rand) [][]byte
+	// Equal compares two emitted encodings. Nil = exact byte equality.
+	// Float-valued monoids substitute an epsilon comparison here, since
+	// reassociating float sums legitimately perturbs low bits.
+	Equal func(a, b []mr.Record) bool
+}
+
+// CheckLaws property-tests a monoid declaration under seeded random
+// inputs: associativity and identity of Merge, commutativity when the
+// Commutative marker is claimed, and closure (EmitState output absorbs
+// back into an equivalent state — the property that makes the derived
+// combiner safe to reapply). States are compared through their
+// canonical encoding (EmitRecords). Returns the first violation found.
+func CheckLaws(m Monoid, cfg LawConfig) error {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = 64
+	}
+	if cfg.Values == nil {
+		return fmt.Errorf("monoid: LawConfig.Values is required")
+	}
+	key := cfg.Key
+	if key == nil {
+		key = func(*rand.Rand) []byte { return []byte("k") }
+	}
+	equal := cfg.Equal
+	if equal == nil {
+		equal = RecordsEqual
+	}
+	_, isCommutative := m.(Commutative)
+
+	r := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		k := key(r)
+		batches := [3][][]byte{cfg.Values(r), cfg.Values(r), cfg.Values(r)}
+		// States are rebuilt from their batches before every Merge:
+		// Merge may mutate its arguments, so no state is reused across
+		// law evaluations.
+		build := func(i int) (any, error) {
+			s := m.Identity()
+			var err error
+			for _, v := range batches[i] {
+				if s, err = m.Absorb(s, v); err != nil {
+					return nil, fmt.Errorf("monoid: Absorb failed (trial %d): %w", trial, err)
+				}
+			}
+			return s, nil
+		}
+		emit := func(s any) ([]mr.Record, error) {
+			recs, err := EmitRecords(m, k, s)
+			if err != nil {
+				return nil, fmt.Errorf("monoid: EmitState failed (trial %d): %w", trial, err)
+			}
+			return recs, nil
+		}
+		merge2 := func(i, j int) (any, error) {
+			a, err := build(i)
+			if err != nil {
+				return nil, err
+			}
+			b, err := build(j)
+			if err != nil {
+				return nil, err
+			}
+			s, err := m.Merge(a, b)
+			if err != nil {
+				return nil, fmt.Errorf("monoid: Merge failed (trial %d): %w", trial, err)
+			}
+			return s, nil
+		}
+
+		// Associativity: (a·b)·c == a·(b·c).
+		left, err := merge2(0, 1)
+		if err != nil {
+			return err
+		}
+		c, err := build(2)
+		if err != nil {
+			return err
+		}
+		if left, err = m.Merge(left, c); err != nil {
+			return fmt.Errorf("monoid: Merge failed (trial %d): %w", trial, err)
+		}
+		right, err := merge2(1, 2)
+		if err != nil {
+			return err
+		}
+		a, err := build(0)
+		if err != nil {
+			return err
+		}
+		if right, err = m.Merge(a, right); err != nil {
+			return fmt.Errorf("monoid: Merge failed (trial %d): %w", trial, err)
+		}
+		lrecs, err := emit(left)
+		if err != nil {
+			return err
+		}
+		rrecs, err := emit(right)
+		if err != nil {
+			return err
+		}
+		if !equal(lrecs, rrecs) {
+			return fmt.Errorf("monoid: associativity violated (trial %d, seed %d):\n (a·b)·c = %s\n a·(b·c) = %s",
+				trial, seed, formatRecords(lrecs), formatRecords(rrecs))
+		}
+
+		// Identity: e·a == a == a·e.
+		base, err := build(0)
+		if err != nil {
+			return err
+		}
+		baseRecs, err := emit(base)
+		if err != nil {
+			return err
+		}
+		for _, side := range []string{"left", "right"} {
+			s, err := build(0)
+			if err != nil {
+				return err
+			}
+			var merged any
+			if side == "left" {
+				merged, err = m.Merge(m.Identity(), s)
+			} else {
+				merged, err = m.Merge(s, m.Identity())
+			}
+			if err != nil {
+				return fmt.Errorf("monoid: Merge with identity failed (trial %d): %w", trial, err)
+			}
+			got, err := emit(merged)
+			if err != nil {
+				return err
+			}
+			if !equal(got, baseRecs) {
+				return fmt.Errorf("monoid: %s identity violated (trial %d, seed %d):\n e·a = %s\n   a = %s",
+					side, trial, seed, formatRecords(got), formatRecords(baseRecs))
+			}
+		}
+
+		// Claimed commutativity: a·b == b·a.
+		if isCommutative {
+			ab, err := merge2(0, 1)
+			if err != nil {
+				return err
+			}
+			ba, err := merge2(1, 0)
+			if err != nil {
+				return err
+			}
+			abRecs, err := emit(ab)
+			if err != nil {
+				return err
+			}
+			baRecs, err := emit(ba)
+			if err != nil {
+				return err
+			}
+			if !equal(abRecs, baRecs) {
+				return fmt.Errorf("monoid: claimed commutativity violated (trial %d, seed %d):\n a·b = %s\n b·a = %s",
+					trial, seed, formatRecords(abRecs), formatRecords(baRecs))
+			}
+		}
+
+		// Closure: re-absorbing the emitted encoding reproduces the
+		// state. This is what lets combiner output feed later combiner
+		// passes.
+		s := m.Identity()
+		for _, rec := range baseRecs {
+			if s, err = m.Absorb(s, rec.Value); err != nil {
+				return fmt.Errorf("monoid: closure violated — Absorb rejected EmitState output (trial %d, seed %d): %w", trial, seed, err)
+			}
+		}
+		round, err := emit(s)
+		if err != nil {
+			return err
+		}
+		if !equal(round, baseRecs) {
+			return fmt.Errorf("monoid: closure violated — emit∘absorb∘emit not idempotent (trial %d, seed %d):\n round = %s\n  base = %s",
+				trial, seed, formatRecords(round), formatRecords(baseRecs))
+		}
+	}
+	return nil
+}
+
+// RecordsEqual is the default state comparison: exact byte equality of
+// the emitted records, order-sensitive (EmitState must be
+// deterministic).
+func RecordsEqual(a, b []mr.Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func formatRecords(recs []mr.Record) string {
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i, r := range recs {
+		if i > 0 {
+			buf.WriteByte(' ')
+		}
+		fmt.Fprintf(&buf, "%q=%q", r.Key, r.Value)
+	}
+	buf.WriteByte(']')
+	return buf.String()
+}

@@ -1,0 +1,119 @@
+package mr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// alignedTestJob: split i carries keys whose first byte is i, an
+// identity mapper passes them through, and the partitioner routes on
+// that byte — so split i's output lands wholly in partition i.
+func alignedTestJob(n int) (*Job, []Split) {
+	job := &Job{
+		Name: "aligned",
+		NewMapper: NewMapFunc(func(key, value []byte, out Emitter) error {
+			return out.Emit(key, value)
+		}),
+		NewReducer: NewReduceFunc(func(key []byte, values ValueIter, out Emitter) error {
+			for {
+				v, ok := values.Next()
+				if !ok {
+					return nil
+				}
+				if err := out.Emit(key, v); err != nil {
+					return err
+				}
+			}
+		}),
+		Partitioner: PartitionerFunc(func(key []byte, parts int) int {
+			return int(key[0]) % parts
+		}),
+		NumReduceTasks: n,
+		Deterministic:  true,
+	}
+	splits := make([]Split, n)
+	for i := 0; i < n; i++ {
+		var recs []Record
+		for r := 0; r < 10; r++ {
+			recs = append(recs, Record{
+				Key:   []byte{byte(i), byte('a' + r)},
+				Value: []byte(fmt.Sprintf("v%d.%d", i, r)),
+			})
+		}
+		splits[i] = &MemSplit{Recs: recs}
+	}
+	return job, splits
+}
+
+// TestAlignedInputByteIdentical runs the same aligned dataset with and
+// without the fast path and requires byte-identical output, while the
+// aligned run must build only the diagonal fetch tasks.
+func TestAlignedInputByteIdentical(t *testing.T) {
+	const n = 4
+	base, splits := alignedTestJob(n)
+	baseRes, err := Run(base, splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fast, fastSplits := alignedTestJob(n)
+	fast.AlignedInput = true
+	fastRes, err := Run(fast, fastSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantOut, gotOut := baseRes.SortedOutput(), fastRes.SortedOutput()
+	if len(wantOut) != len(gotOut) {
+		t.Fatalf("output lengths differ: %d vs %d", len(wantOut), len(gotOut))
+	}
+	for i := range wantOut {
+		if string(wantOut[i].Key) != string(gotOut[i].Key) || string(wantOut[i].Value) != string(gotOut[i].Value) {
+			t.Fatalf("record %d differs: %q=%q vs %q=%q", i,
+				wantOut[i].Key, wantOut[i].Value, gotOut[i].Key, gotOut[i].Value)
+		}
+	}
+
+	countFetches := func(res *Result) int {
+		fetches := 0
+		for _, a := range res.Timeline {
+			if strings.HasPrefix(a.Task, "fetch/") {
+				fetches++
+			}
+		}
+		return fetches
+	}
+	if got := countFetches(fastRes); got != n {
+		t.Errorf("aligned run made %d fetch attempts, want %d (diagonal only)", got, n)
+	}
+	if got := countFetches(baseRes); got != n*n {
+		t.Errorf("baseline run made %d fetch attempts, want %d", got, n*n)
+	}
+}
+
+// TestAlignedInputViolation proves the aligned claim is enforced: an
+// off-diagonal emission fails the job with ErrMisaligned instead of
+// silently dropping records the pruned fetch graph would never collect.
+func TestAlignedInputViolation(t *testing.T) {
+	job, splits := alignedTestJob(4)
+	job.AlignedInput = true
+	// Poison split 2 with a key that routes to partition 1.
+	splits[2].(*MemSplit).Recs = append(splits[2].(*MemSplit).Recs,
+		Record{Key: []byte{1, 'z'}, Value: []byte("stray")})
+	_, err := Run(job, splits)
+	if !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("want ErrMisaligned, got %v", err)
+	}
+}
+
+// TestAlignedInputSplitCount: the fast path requires exactly one split
+// per partition.
+func TestAlignedInputSplitCount(t *testing.T) {
+	job, splits := alignedTestJob(4)
+	job.AlignedInput = true
+	if _, err := Run(job, splits[:3]); err == nil {
+		t.Fatal("want error for 3 splits with 4 reducers")
+	}
+}

@@ -105,6 +105,10 @@ func Run(job *Job, splits []Split) (*Result, error) {
 	if len(splits) == 0 {
 		splits = []Split{&MemSplit{}}
 	}
+	if j.AlignedInput && len(splits) != j.NumReduceTasks {
+		return nil, fmt.Errorf("%w: AlignedInput needs exactly NumReduceTasks (%d) splits, got %d",
+			errJob, j.NumReduceTasks, len(splits))
+	}
 
 	start := time.Now()
 	meter := &iokit.Meter{}

@@ -15,6 +15,17 @@ import "repro/internal/bytesx"
 // combine(b,c)). The mapper must emit values already in combinable form
 // (e.g. counts, not raw tokens).
 func InMapperCombining(newMapper func() Mapper, combine func(acc, v []byte) []byte, maxEntries int) func() Mapper {
+	return InMapperCombiningErr(newMapper, func(_, acc, v []byte) ([]byte, error) {
+		return combine(acc, v), nil
+	}, maxEntries)
+}
+
+// InMapperCombiningErr is InMapperCombining for fold functions that can
+// fail (e.g. decoding structured partials): combine receives the output
+// key alongside the accumulated and incoming values, and an error fails
+// the map task. internal/monoid derives this fold from a workload's
+// monoid declaration.
+func InMapperCombiningErr(newMapper func() Mapper, combine func(key, acc, v []byte) ([]byte, error), maxEntries int) func() Mapper {
 	if maxEntries <= 0 {
 		maxEntries = 64 << 10
 	}
@@ -30,7 +41,7 @@ func InMapperCombining(newMapper func() Mapper, combine func(acc, v []byte) []by
 
 type inMapperCombiner struct {
 	inner      Mapper
-	combine    func(acc, v []byte) []byte
+	combine    func(key, acc, v []byte) ([]byte, error)
 	maxEntries int
 	table      map[string][]byte
 }
@@ -63,7 +74,11 @@ func (m *inMapperCombiner) Cleanup(out Emitter) error {
 func (m *inMapperCombiner) wrap(out Emitter) Emitter {
 	return EmitterFunc(func(k, v []byte) error {
 		if acc, ok := m.table[string(k)]; ok {
-			m.table[string(k)] = m.combine(acc, v)
+			merged, err := m.combine(k, acc, v)
+			if err != nil {
+				return err
+			}
+			m.table[string(k)] = merged
 			return nil
 		}
 		m.table[string(k)] = bytesx.Clone(v)

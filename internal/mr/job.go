@@ -127,6 +127,16 @@ type Job struct {
 	// functions of their inputs. When false, Anti-Combining disables
 	// LazySH (paper §6.2). The engine itself does not use it.
 	Deterministic bool
+	// AlignedInput declares that split i's map output routes entirely to
+	// reduce partition i — the same-partitioning fast path a DAG stage
+	// gets when it consumes the previous stage's partitioned output with
+	// a partition-preserving map. The engine then requires exactly
+	// NumReduceTasks splits, builds only the diagonal fetch tasks
+	// (fetch/p/p), and reduce p depends on map p alone — the shuffle's
+	// all-to-all edge set collapses to a per-partition pass-through. The
+	// claim is enforced, not trusted: a map emission routed off the
+	// diagonal fails the task with ErrMisaligned.
+	AlignedInput bool
 	// CollectOutput controls whether reduce output records are gathered
 	// into Result.Output. Defaults to true; large jobs can disable it.
 	DiscardOutput bool

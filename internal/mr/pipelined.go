@@ -65,6 +65,14 @@ func runPipelined(ctx context.Context, env *runEnv) (*Result, error) {
 	}
 	for p := 0; p < nRed; p++ {
 		for i := 0; i < nMap; i++ {
+			if j.AlignedInput && i != p {
+				// Aligned jobs route map i's output wholly to partition
+				// i (enforced in runMapTask), so off-diagonal fetch
+				// tasks would only ever carry empty segment lists —
+				// skip them and the all-to-all edge set collapses to
+				// one pass-through edge per partition.
+				continue
+			}
 			p, i := p, i
 			tasks = append(tasks, sched.Task{
 				Name:  fetchTaskName(p, i),
@@ -109,10 +117,16 @@ func runPipelined(ctx context.Context, env *runEnv) (*Result, error) {
 	}
 	for p := 0; p < nRed; p++ {
 		p := p
-		deps := make([]string, nMap)
-		for i := range deps {
-			deps[i] = fetchTaskName(p, i)
+		var deps []string
+		if j.AlignedInput {
+			deps = []string{fetchTaskName(p, p)}
+		} else {
+			deps = make([]string, nMap)
+			for i := range deps {
+				deps[i] = fetchTaskName(p, i)
+			}
 		}
+		fetchDeps := deps
 		tasks = append(tasks, sched.Task{
 			Name:  reduceTaskName(p),
 			Group: TaskGroupReduce,
@@ -124,8 +138,8 @@ func runPipelined(ctx context.Context, env *runEnv) (*Result, error) {
 				// sees the same stream order as the barrier engine and
 				// the two produce byte-identical output.
 				var segs []segment
-				for i := 0; i < nMap; i++ {
-					segs = append(segs, tc.Dep(fetchTaskName(p, i)).([]segment)...)
+				for _, dep := range fetchDeps {
+					segs = append(segs, tc.Dep(dep).([]segment)...)
 				}
 				return reduceMerge(ctx, j, env.fs, env.counters, p, tc.Attempt, segs)
 			},

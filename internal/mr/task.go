@@ -24,6 +24,13 @@ const ctxCheckInterval = 64
 // its read failed mid-stream), so it is classified transient.
 var errShortFetch = errors.New("mr: short shuffle fetch")
 
+// ErrMisaligned reports a Job.AlignedInput violation: a map emission
+// routed off its split's diagonal partition. It is permanent (retrying
+// re-runs the same deterministic routing), so the job fails loudly
+// instead of silently dropping records the pruned fetch graph would
+// never collect.
+var ErrMisaligned = errors.New("mr: aligned-input job emitted off-diagonal record")
+
 // isTransientErr classifies errors worth retrying: injected I/O faults
 // from the fault-injection harness and connection-level shuffle
 // failures. Context cancellation is never transient — it means the job
@@ -104,6 +111,9 @@ func runMapTask(ctx context.Context, job *Job, fs iokit.FS, counters *Counters, 
 		p := job.Partitioner.Partition(k, job.NumReduceTasks)
 		if p < 0 || p >= job.NumReduceTasks {
 			return fmt.Errorf("mr: partitioner returned %d for %d partitions", p, job.NumReduceTasks)
+		}
+		if job.AlignedInput && p != taskID {
+			return fmt.Errorf("%w: map task %d emitted key %q routed to partition %d", ErrMisaligned, taskID, k, p)
 		}
 		counters.AddMapOutputPartition(p, rl)
 		return buf.add(p, k, v)

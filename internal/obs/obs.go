@@ -58,6 +58,11 @@ const (
 	// layer, operation, and fault kind, so a failing seed's schedule is
 	// reconstructable from the trace alone.
 	KindChaos = "chaos"
+	// Pipeline-runner spans (internal/dag): KindPipeline covers one
+	// pipeline run end to end, KindStage one stage job attempt within an
+	// iteration.
+	KindPipeline = "pipeline"
+	KindStage    = "stage"
 )
 
 // Attr is one key-value annotation on a span.

@@ -123,6 +123,12 @@ type Config struct {
 	// Retryable classifies errors worth retrying; nil disables retries
 	// regardless of MaxAttempts.
 	Retryable func(error) bool
+	// MaxReexecs caps how many times a finished task may be re-executed
+	// because a consumer reported its output lost (DepLostError).
+	// Defaults to MaxAttempts, but callers whose tasks hold volatile
+	// outputs (stage handoffs on remote workers) may raise it
+	// independently of the retry budget.
+	MaxReexecs int
 	// Backoff is the delay before the first retry, doubling per
 	// subsequent failure up to MaxBackoff. Defaults to 1ms / 250ms.
 	Backoff    time.Duration
@@ -156,6 +162,9 @@ func (c Config) normalized() Config {
 	}
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 1
+	}
+	if c.MaxReexecs <= 0 {
+		c.MaxReexecs = c.MaxAttempts
 	}
 	if c.Backoff <= 0 {
 		c.Backoff = time.Millisecond
@@ -458,9 +467,9 @@ func (s *scheduler) run(ctx context.Context) (*Report, error) {
 					dep.done = false
 					doneCount--
 					dep.reexecs++
-					if dep.reexecs >= s.cfg.MaxAttempts {
+					if dep.reexecs >= s.cfg.MaxReexecs {
 						fail(fmt.Errorf("sched: task %s lost its output %d times (max %d): %w",
-							dep.task.Name, dep.reexecs, s.cfg.MaxAttempts, c.err))
+							dep.task.Name, dep.reexecs, s.cfg.MaxReexecs, c.err))
 						break
 					}
 					if s.cfg.Tracer != nil {

@@ -77,6 +77,14 @@ func (c *Client) Submit(ctx context.Context, req SubmitRequest) (JobRecord, erro
 	return rec, err
 }
 
+// SubmitPipeline submits one registered dag pipeline; the returned
+// record shares the job API (status, tail, output, cancel).
+func (c *Client) SubmitPipeline(ctx context.Context, req SubmitRequest) (JobRecord, error) {
+	var rec JobRecord
+	err := c.do(ctx, http.MethodPost, "/api/v1/pipelines", req, &rec)
+	return rec, err
+}
+
 // List lists jobs, optionally one tenant's.
 func (c *Client) List(ctx context.Context, tenant string) ([]JobRecord, error) {
 	path := "/api/v1/jobs"

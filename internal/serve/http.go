@@ -13,6 +13,7 @@ import (
 // Handler returns the server's HTTP API:
 //
 //	POST   /api/v1/jobs              submit a job (429 over tenant quota)
+//	POST   /api/v1/pipelines         submit a dag pipeline (same queue/quota)
 //	GET    /api/v1/jobs[?tenant=t]   list jobs, newest first
 //	GET    /api/v1/jobs/{id}         one job, with live progress
 //	DELETE /api/v1/jobs/{id}         cancel (idempotent)
@@ -27,6 +28,7 @@ import (
 func (s *Server) Handler(withPprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /api/v1/pipelines", s.handleSubmitPipeline)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
@@ -82,6 +84,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rec, err := s.Submit(req)
+	if err != nil {
+		if errors.Is(err, ErrQuota) {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, rec)
+}
+
+func (s *Server) handleSubmitPipeline(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad pipeline body: " + err.Error()})
+		return
+	}
+	rec, err := s.SubmitPipeline(req)
 	if err != nil {
 		if errors.Is(err, ErrQuota) {
 			writeErr(w, err)

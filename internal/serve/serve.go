@@ -115,13 +115,21 @@ var ErrQuota = errors.New("serve: tenant queue quota exceeded")
 // ErrNotFound is returned for unknown job IDs.
 var ErrNotFound = errors.New("serve: no such job")
 
+// KindPipeline marks a JobRecord that runs a registered dag pipeline
+// (a DAG of stage jobs over the fleet) rather than a single job. The
+// zero Kind is a plain job.
+const KindPipeline = "pipeline"
+
 // JobRecord is one job's externally visible state.
 type JobRecord struct {
 	ID     int    `json:"id"`
 	Tenant string `json:"tenant"`
-	// Name and Spec form the cluster.JobRef rebuilt by every worker.
-	// Spec must be JSON (every registered job in this repo uses JSON
-	// specs), which keeps the journal and API human-readable.
+	// Kind distinguishes plain jobs ("") from pipelines ("pipeline").
+	Kind string `json:"kind,omitempty"`
+	// Name and Spec form the cluster.JobRef rebuilt by every worker —
+	// or, for pipelines, the dag registry reference. Spec must be JSON
+	// (every registered job in this repo uses JSON specs), which keeps
+	// the journal and API human-readable.
 	Name        string           `json:"name"`
 	Spec        json.RawMessage  `json:"spec,omitempty"`
 	Priority    int              `json:"priority"`
@@ -262,12 +270,18 @@ func (s *Server) tenant(name string) TenantConfig {
 // registry jobs fail fast with the build error, tenants over their
 // queue quota get ErrQuota).
 func (s *Server) Submit(req SubmitRequest) (JobRecord, error) {
-	if req.Tenant == "" {
-		req.Tenant = "default"
-	}
 	ref := cluster.JobRef{Name: req.Name, Spec: []byte(req.Spec)}
 	if err := cluster.ValidateJob(ref); err != nil {
 		return JobRecord{}, err
+	}
+	return s.admit(req, "")
+}
+
+// admit runs the shared quota/queue path for jobs and pipelines; the
+// caller has already validated the registry reference.
+func (s *Server) admit(req SubmitRequest, kind string) (JobRecord, error) {
+	if req.Tenant == "" {
+		req.Tenant = "default"
 	}
 	tc := s.tenant(req.Tenant)
 	prio := tc.Priority
@@ -294,7 +308,7 @@ func (s *Server) Submit(req SubmitRequest) (JobRecord, error) {
 	s.nextID++
 	j := &job{
 		rec: JobRecord{
-			ID: id, Tenant: req.Tenant, Name: req.Name, Spec: req.Spec,
+			ID: id, Tenant: req.Tenant, Kind: kind, Name: req.Name, Spec: req.Spec,
 			Priority: prio, State: StateQueued, SubmittedAt: time.Now(),
 		},
 		done: make(chan struct{}),
@@ -346,6 +360,10 @@ func (s *Server) maybeStartLocked() {
 
 // startLocked hands one queued job to the fleet.
 func (s *Server) startLocked(j *job) {
+	if j.rec.Kind == KindPipeline {
+		s.startPipelineLocked(j)
+		return
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	tc := s.tenant(j.rec.Tenant)
 	h, err := s.fleet.Submit(ctx, cluster.JobSpec{

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/bytesx"
 	"repro/internal/datagen"
+	"repro/internal/monoid"
 	"repro/internal/mr"
 )
 
@@ -89,24 +90,40 @@ func (mapper) Map(key, value []byte, out mr.Emitter) error {
 	return nil
 }
 
-// combiner replaces m occurrences of the same (prefix, query) with a
-// single (prefix, (query, m)) record (§2).
-type combiner struct{ mr.ReducerBase }
+// Counts is the workload's aggregation monoid: a per-query count table
+// merged by per-entry addition. Its state emits MULTIPLE records — one
+// aggregate (prefix, (query, m)) per distinct query, sorted for
+// determinism — replacing m occurrences of the same (prefix, query)
+// exactly as the paper's combiner does (§2). The reducer is the same
+// monoid with a top-k rendering final.
+type Counts struct{}
 
-// Reduce implements mr.Reducer.
-func (combiner) Reduce(key []byte, values mr.ValueIter, out mr.Emitter) error {
-	counts := make(map[string]uint64)
-	for {
-		v, ok := values.Next()
-		if !ok {
-			break
-		}
-		count, query, err := DecodeValue(v)
-		if err != nil {
-			return err
-		}
-		counts[string(query)] += count
+// Identity implements monoid.Monoid.
+func (Counts) Identity() any { return map[string]uint64{} }
+
+// Absorb implements monoid.Monoid.
+func (Counts) Absorb(s any, v []byte) (any, error) {
+	counts := s.(map[string]uint64)
+	count, query, err := DecodeValue(v)
+	if err != nil {
+		return nil, err
 	}
+	counts[string(query)] += count
+	return counts, nil
+}
+
+// Merge implements monoid.Monoid.
+func (Counts) Merge(a, b any) (any, error) {
+	x, y := a.(map[string]uint64), b.(map[string]uint64)
+	for q, c := range y {
+		x[q] += c
+	}
+	return x, nil
+}
+
+// EmitState implements monoid.Monoid.
+func (Counts) EmitState(key []byte, s any, out mr.Emitter) error {
+	counts := s.(map[string]uint64)
 	queries := make([]string, 0, len(counts))
 	for q := range counts {
 		queries = append(queries, q)
@@ -120,27 +137,15 @@ func (combiner) Reduce(key []byte, values mr.ValueIter, out mr.Emitter) error {
 	return nil
 }
 
-// reducer tallies query frequencies for the prefix and emits the top-k.
-type reducer struct {
-	mr.ReducerBase
-	topK int
-}
+// CommutativeMonoid marks per-entry addition as commutative.
+func (Counts) CommutativeMonoid() {}
 
-// Reduce implements mr.Reducer.
-func (r *reducer) Reduce(key []byte, values mr.ValueIter, out mr.Emitter) error {
-	counts := make(map[string]uint64)
-	for {
-		v, ok := values.Next()
-		if !ok {
-			break
-		}
-		count, query, err := DecodeValue(v)
-		if err != nil {
-			return err
-		}
-		counts[string(query)] += count
+// finalTop renders a fully merged count table as the job's top-k output
+// line — the `final` argument to monoid.Reducer.
+func finalTop(topK int) func(key []byte, s any, out mr.Emitter) error {
+	return func(key []byte, s any, out mr.Emitter) error {
+		return out.Emit(key, []byte(FormatTop(s.(map[string]uint64), topK)))
 	}
-	return out.Emit(key, []byte(FormatTop(counts, r.topK)))
 }
 
 // FormatTop renders the top-k queries by (count desc, query asc) as
@@ -177,13 +182,13 @@ func NewJob(cfg Config, withCombiner bool) *mr.Job {
 	job := &mr.Job{
 		Name:           "querysuggest",
 		NewMapper:      func() mr.Mapper { return mapper{} },
-		NewReducer:     func() mr.Reducer { return &reducer{topK: cfg.TopK} },
+		NewReducer:     monoid.Reducer(Counts{}, finalTop(cfg.TopK)),
 		Partitioner:    cfg.Partitioner,
 		NumReduceTasks: cfg.Reducers,
 		Deterministic:  true,
 	}
 	if withCombiner {
-		job.NewCombiner = func() mr.Reducer { return combiner{} }
+		job.NewCombiner = monoid.Combiner(Counts{})
 	}
 	return job
 }

@@ -23,6 +23,7 @@ import (
 	"strconv"
 
 	"repro/internal/datagen"
+	"repro/internal/monoid"
 	"repro/internal/mr"
 )
 
@@ -130,58 +131,81 @@ func (mapper) Map(key, value []byte, out mr.Emitter) error {
 	return out.Emit(value[:tab], value[tab+1:])
 }
 
-// aggReducer is both the Reducer and the Combiner: it folds raw
-// records ("<n>:<payload>") and partial aggregates
-// ("a:<count>:<sum>:<xor>") into one aggregate line. Count and sum add
-// and the hash fold XORs, so the aggregate is a commutative monoid:
-// any grouping of the same record multiset reduces to identical bytes.
-type aggReducer struct{ mr.ReducerBase }
-
-// Reduce implements mr.Reducer (and the Combiner contract).
-func (aggReducer) Reduce(key []byte, values mr.ValueIter, out mr.Emitter) error {
-	var count, sum int64
-	var xor uint64
-	for {
-		v, ok := values.Next()
-		if !ok {
-			break
-		}
-		if bytes.HasPrefix(v, []byte("a:")) {
-			parts := bytes.Split(v, []byte(":"))
-			if len(parts) != 4 {
-				return fmt.Errorf("skewagg: bad partial %q", v)
-			}
-			c, err := strconv.ParseInt(string(parts[1]), 10, 64)
-			if err != nil {
-				return fmt.Errorf("skewagg: bad partial count %q: %w", v, err)
-			}
-			s, err := strconv.ParseInt(string(parts[2]), 10, 64)
-			if err != nil {
-				return fmt.Errorf("skewagg: bad partial sum %q: %w", v, err)
-			}
-			x, err := strconv.ParseUint(string(parts[3]), 16, 64)
-			if err != nil {
-				return fmt.Errorf("skewagg: bad partial xor %q: %w", v, err)
-			}
-			count += c
-			sum += s
-			xor ^= x
-			continue
-		}
-		colon := bytes.IndexByte(v, ':')
-		if colon < 0 {
-			return fmt.Errorf("skewagg: bad record %q", v)
-		}
-		n, err := strconv.ParseInt(string(v[:colon]), 10, 64)
-		if err != nil {
-			return fmt.Errorf("skewagg: bad record count %q: %w", v, err)
-		}
-		count++
-		sum += n
-		xor ^= datagen.Hash64(v)
-	}
-	return out.Emit(key, []byte(fmt.Sprintf("a:%d:%d:%016x", count, sum, xor)))
+// aggState is the aggregation state of the Agg monoid.
+type aggState struct {
+	count, sum int64
+	xor        uint64
 }
+
+// Agg is the workload's aggregation monoid: (count, sum, xor-of-hashes)
+// with component-wise addition/XOR. It folds raw records
+// ("<n>:<payload>") and partial aggregates ("a:<count>:<sum>:<xor>")
+// alike, so its derived combiner can be reapplied at every level —
+// count and sum add and the hash fold XORs, so any grouping of the same
+// record multiset reduces to identical bytes (the contract heavy-hitter
+// splitting needs, now property-tested instead of assumed).
+type Agg struct{}
+
+// Identity implements monoid.Monoid.
+func (Agg) Identity() any { return &aggState{} }
+
+// Absorb implements monoid.Monoid.
+func (Agg) Absorb(s any, v []byte) (any, error) {
+	st := s.(*aggState)
+	if bytes.HasPrefix(v, []byte("a:")) {
+		parts := bytes.Split(v, []byte(":"))
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("skewagg: bad partial %q", v)
+		}
+		c, err := strconv.ParseInt(string(parts[1]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("skewagg: bad partial count %q: %w", v, err)
+		}
+		sum, err := strconv.ParseInt(string(parts[2]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("skewagg: bad partial sum %q: %w", v, err)
+		}
+		x, err := strconv.ParseUint(string(parts[3]), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("skewagg: bad partial xor %q: %w", v, err)
+		}
+		st.count += c
+		st.sum += sum
+		st.xor ^= x
+		return st, nil
+	}
+	colon := bytes.IndexByte(v, ':')
+	if colon < 0 {
+		return nil, fmt.Errorf("skewagg: bad record %q", v)
+	}
+	n, err := strconv.ParseInt(string(v[:colon]), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("skewagg: bad record count %q: %w", v, err)
+	}
+	st.count++
+	st.sum += n
+	st.xor ^= datagen.Hash64(v)
+	return st, nil
+}
+
+// Merge implements monoid.Monoid.
+func (Agg) Merge(a, b any) (any, error) {
+	x, y := a.(*aggState), b.(*aggState)
+	x.count += y.count
+	x.sum += y.sum
+	x.xor ^= y.xor
+	return x, nil
+}
+
+// EmitState implements monoid.Monoid.
+func (Agg) EmitState(key []byte, s any, out mr.Emitter) error {
+	st := s.(*aggState)
+	return out.Emit(key, []byte(fmt.Sprintf("a:%d:%d:%016x", st.count, st.sum, st.xor)))
+}
+
+// CommutativeMonoid marks the aggregate as commutative (addition and
+// XOR both commute).
+func (Agg) CommutativeMonoid() {}
 
 // NewJob builds the skewed aggregation job. The partitioner is left at
 // the engine default (hash) — internal/partition.Apply swaps it.
@@ -190,7 +214,7 @@ func NewJob(cfg Config) *mr.Job {
 	j := &mr.Job{
 		Name:           "skewagg",
 		NewMapper:      func() mr.Mapper { return mapper{} },
-		NewReducer:     func() mr.Reducer { return aggReducer{} },
+		NewReducer:     monoid.Reducer(Agg{}, nil),
 		NumReduceTasks: cfg.Reducers,
 		Deterministic:  true,
 	}
@@ -203,7 +227,7 @@ func NewJob(cfg Config) *mr.Job {
 // NewCombiner is the aggregation's monoid combiner factory — what
 // partition.SplitJob uses for reduce-side partial aggregation even
 // when the job itself runs combiner-less.
-func NewCombiner() mr.Reducer { return aggReducer{} }
+var NewCombiner = monoid.Combiner(Agg{})
 
 // Splits streams generated lines.
 func Splits(g *Gen, numSplits int) []mr.Split {

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/datagen"
+	"repro/internal/monoid"
 	"repro/internal/mr"
 )
 
@@ -25,27 +26,36 @@ func (mapper) Map(key, value []byte, out mr.Emitter) error {
 	return nil
 }
 
-type sumReducer struct{ mr.ReducerBase }
+// Sum is WordCount's aggregation monoid: decimal counts under addition.
+// Combiner and reducer are both derived from it.
+type Sum struct{}
 
-// Reduce implements mr.Reducer (and the Combiner contract) by summing
-// decimal counts.
-func (sumReducer) Reduce(key []byte, values mr.ValueIter, out mr.Emitter) error {
-	var total uint64
-	for {
-		v, ok := values.Next()
-		if !ok {
-			break
-		}
-		n, err := strconv.ParseUint(string(v), 10, 64)
-		if err != nil {
-			return err
-		}
-		total += n
+// Identity implements monoid.Monoid.
+func (Sum) Identity() any { return uint64(0) }
+
+// Absorb implements monoid.Monoid: values are decimal counts ("1" from
+// the mapper, partial sums from earlier combiner passes).
+func (Sum) Absorb(s any, value []byte) (any, error) {
+	n, err := strconv.ParseUint(string(value), 10, 64)
+	if err != nil {
+		return nil, err
 	}
-	return out.Emit(key, []byte(strconv.FormatUint(total, 10)))
+	return s.(uint64) + n, nil
 }
 
-// NewJob builds the WordCount job with its (highly effective) combiner.
+// Merge implements monoid.Monoid.
+func (Sum) Merge(a, b any) (any, error) { return a.(uint64) + b.(uint64), nil }
+
+// EmitState implements monoid.Monoid.
+func (Sum) EmitState(key []byte, s any, out mr.Emitter) error {
+	return out.Emit(key, []byte(strconv.FormatUint(s.(uint64), 10)))
+}
+
+// CommutativeMonoid marks integer addition as commutative.
+func (Sum) CommutativeMonoid() {}
+
+// NewJob builds the WordCount job; combiner and reducer are both
+// derived from the Sum monoid.
 func NewJob(reducers int) *mr.Job {
 	if reducers <= 0 {
 		reducers = 8
@@ -53,11 +63,21 @@ func NewJob(reducers int) *mr.Job {
 	return &mr.Job{
 		Name:           "wordcount",
 		NewMapper:      func() mr.Mapper { return mapper{} },
-		NewReducer:     func() mr.Reducer { return sumReducer{} },
-		NewCombiner:    func() mr.Reducer { return sumReducer{} },
+		NewReducer:     monoid.Reducer(Sum{}, nil),
+		NewCombiner:    monoid.Combiner(Sum{}),
 		NumReduceTasks: reducers,
 		Deterministic:  true,
 	}
+}
+
+// NewInMapperJob is NewJob with in-mapper combining derived from the
+// same monoid declaration in place of the classic combiner.
+func NewInMapperJob(reducers, maxEntries int) *mr.Job {
+	job := NewJob(reducers)
+	job.Name = "wordcount-inmapper"
+	job.NewMapper = monoid.InMapper(job.NewMapper, Sum{}, maxEntries)
+	job.NewCombiner = nil
+	return job
 }
 
 // Splits streams lines from a random-text generator.

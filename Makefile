@@ -29,13 +29,16 @@ race:
 verify: build vet staticcheck race
 
 # Map-path benchmarks, published as BENCH_4.json (the baseline/default
-# sub-benchmark pairs become speedup + allocation-reduction rows), and
-# the skew-partitioning benchmarks as BENCH_5.json (hash vs range vs
-# split max/mean partition bytes via custom ReportMetric units).
+# sub-benchmark pairs become speedup + allocation-reduction rows), the
+# skew-partitioning benchmarks as BENCH_5.json (hash vs range vs
+# split max/mean partition bytes via custom ReportMetric units), and
+# the shuffle data-plane benchmarks as BENCH_7.json (raw vs sendfile
+# vs compressed throughput with bytes-on-wire per op).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMapBufferSpill|BenchmarkMapPathE2E|BenchmarkMergeIter' -benchmem ./internal/mr/ | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_4.json
 	$(GO) test -run '^$$' -bench 'BenchmarkSkewPartition' -benchmem ./internal/experiments/ | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_5.json
 	$(GO) test -run '^$$' -bench 'BenchmarkPipelineHandoff' -benchmem ./internal/experiments/ | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_6.json
+	$(GO) test -run '^$$' -bench 'BenchmarkShuffleDataPlane' -benchmem ./internal/mr/ | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_7.json
 
 # Every benchmark in the repository, human-readable.
 bench-all:

@@ -1,0 +1,34 @@
+// Package backoff is the shared retry-delay policy for the cluster
+// control plane and the shuffle data plane: exponential growth with
+// full jitter and a hard ceiling. Jitter keeps a fleet of workers that
+// failed together from retrying together (a synchronized thundering
+// herd against the component that just hiccuped); the ceiling keeps a
+// long retry loop from backing off into uselessness.
+package backoff
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Exp returns the delay before the retry-th retry (1-based): the base
+// doubles per retry and the result is drawn uniformly from [d, 2d) —
+// "full jitter" on top of the exponential floor. The pre-jitter delay
+// is capped at ceiling, so the returned delay is always below
+// 2*ceiling no matter how many retries have accumulated.
+func Exp(base time.Duration, retry int, ceiling time.Duration) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if ceiling < base {
+		ceiling = base
+	}
+	d := base
+	for i := 1; i < retry && d < ceiling; i++ {
+		d <<= 1
+	}
+	if d > ceiling {
+		d = ceiling
+	}
+	return d + rand.N(d)
+}

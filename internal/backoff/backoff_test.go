@@ -1,0 +1,56 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExpGrowsAndJitters(t *testing.T) {
+	base := 2 * time.Millisecond
+	ceiling := 250 * time.Millisecond
+	for retry := 1; retry <= 12; retry++ {
+		floor := base << (retry - 1)
+		if floor > ceiling || floor <= 0 {
+			floor = ceiling
+		}
+		for i := 0; i < 50; i++ {
+			d := Exp(base, retry, ceiling)
+			if d < floor {
+				t.Fatalf("retry %d: delay %v below exponential floor %v", retry, d, floor)
+			}
+			if d >= 2*floor {
+				t.Fatalf("retry %d: delay %v outside full-jitter range [%v, %v)", retry, d, floor, 2*floor)
+			}
+		}
+	}
+}
+
+func TestExpCeiling(t *testing.T) {
+	// Far past the doubling range, delays must stay below 2*ceiling
+	// instead of overflowing or growing unboundedly.
+	for i := 0; i < 100; i++ {
+		d := Exp(time.Millisecond, 60, 100*time.Millisecond)
+		if d < 100*time.Millisecond || d >= 200*time.Millisecond {
+			t.Fatalf("capped delay %v outside [ceiling, 2*ceiling)", d)
+		}
+	}
+}
+
+func TestExpDegenerateInputs(t *testing.T) {
+	if d := Exp(0, 0, 0); d <= 0 {
+		t.Fatalf("zero inputs produced non-positive delay %v", d)
+	}
+	if d := Exp(-time.Second, -3, -time.Second); d <= 0 {
+		t.Fatalf("negative inputs produced non-positive delay %v", d)
+	}
+}
+
+func TestExpActuallyJitters(t *testing.T) {
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 64; i++ {
+		seen[Exp(time.Millisecond, 3, time.Second)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("64 draws produced a single delay; jitter is not applied")
+	}
+}

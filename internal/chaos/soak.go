@@ -175,6 +175,11 @@ func SoakInProcess(seed uint64, prof Profile, tracer *obs.Tracer) (*SoakReport, 
 	job.FS = tracked
 	job.TCPShuffle = true
 	job.WrapShuffleListener = s.WrapListener
+	// Compression is negotiated only on the chaotic run: output must
+	// stay byte-identical to the uncompressed clean reference, which is
+	// exactly the transparency the wire codec promises — and it puts
+	// compressed frames in the fault path.
+	job.WireCompression = true
 	job.Tracer = tracer
 
 	res, err := mr.Run(job, splits)
@@ -273,10 +278,11 @@ func SoakCluster(seed uint64, prof Profile, tracer *obs.Tracer) (*SoakReport, er
 			time.AfterFunc(plans[i].CrashAfter, wcancel)
 		}
 		opts := cluster.WorkerOptions{
-			Coordinator:  coord.Addr(),
-			Slots:        2,
-			FS:           trackers[i],
-			WrapListener: s.WrapListener,
+			Coordinator:     coord.Addr(),
+			Slots:           2,
+			FS:              trackers[i],
+			WrapListener:    s.WrapListener,
+			WireCompression: true,
 		}
 		go func() { workerErr <- cluster.RunWorker(wctx, opts) }()
 	}

@@ -4,11 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand/v2"
 	"net"
 	"net/rpc"
 	"sync"
 	"time"
+
+	"repro/internal/backoff"
 )
 
 // CounterRPCRetries is the extra stats counter summing control-plane RPC
@@ -22,6 +23,7 @@ const (
 	defaultRPCTimeout  = 2 * time.Second
 	defaultRPCAttempts = 3
 	defaultRPCBackoff  = 5 * time.Millisecond
+	rpcBackoffCeiling  = 1 * time.Second
 )
 
 // rpcClient wraps net/rpc's client with per-call deadlines, bounded
@@ -101,12 +103,9 @@ func (r *rpcClient) Call(ctx context.Context, method string, args, reply any) er
 			r.mu.Lock()
 			r.retries++
 			r.mu.Unlock()
-			// Exponential backoff with full jitter: sleep in
-			// [base, 2*base) where base doubles per retry.
-			d := r.backoff << (attempt - 2)
-			d += rand.N(d)
+			// The shared policy: exponential with full jitter, capped.
 			select {
-			case <-time.After(d):
+			case <-time.After(backoff.Exp(r.backoff, attempt-1, rpcBackoffCeiling)):
 			case <-ctx.Done():
 				return ctx.Err()
 			}

@@ -35,6 +35,11 @@ type WorkerOptions struct {
 	// listener — the chaos harness's injection point for connection
 	// drops, stalls, truncations, and bit-flips.
 	WrapListener func(net.Listener) net.Listener
+	// WireCompression negotiates Snappy compression on this worker's
+	// outbound shuffle connections. Transparent to job output; it trades
+	// CPU on both sides for bytes on the wire, which is the right trade
+	// whenever workers are not sharing a loopback.
+	WireCompression bool
 	// RPCTimeout bounds each control-plane call to the fleet (default
 	// 2s). Calls that exceed it are retried with jittered backoff on a
 	// fresh connection, so a wedged fleet cannot block a worker forever.
@@ -90,7 +95,11 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 	srv := mr.NewSegmentServerOn(fs, ln, serveMeter)
 	defer srv.Close()
 	pool := mr.NewConnPool()
+	pool.WireCompression = opts.WireCompression
 	defer pool.Close()
+	// All segment fetches go through the multiplexer: concurrent slots
+	// pulling from the same peer share one connection and one batch.
+	fetcher := mr.NewMuxFetcher(pool)
 
 	var reg RegisterReply
 	if err := client.Call(ctx, "Cluster.Register", &RegisterArgs{DataAddr: srv.Addr(), Slots: opts.Slots}, &reg); err != nil {
@@ -103,7 +112,7 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 
 	w := &worker{
 		id: reg.WorkerID,
-		fs: fs, pool: pool, srv: srv, serveMeter: serveMeter,
+		fs: fs, pool: pool, fetcher: fetcher, srv: srv, serveMeter: serveMeter,
 		client:  client,
 		jobs:    make(map[int]*workerJob),
 		running: make(map[AttemptID]context.CancelFunc),
@@ -244,6 +253,7 @@ type worker struct {
 	id         int
 	fs         iokit.FS
 	pool       *mr.ConnPool
+	fetcher    *mr.MuxFetcher
 	srv        *mr.SegmentServer
 	serveMeter *iokit.Meter
 	client     *rpcClient
@@ -504,7 +514,7 @@ func (w *worker) stageSplit(ctx context.Context, wj *workerJob, l TaskLease, rep
 		return &mr.RecordFileSplit{FS: w.fs, Name: h.File}, nil
 	}
 	local := fmt.Sprintf("%s/handin/m%04d.a%d", wj.job.Workspace, l.MapTask, l.Attempt)
-	rc, size, err := w.pool.Fetch(ctx, h.Addr, h.File)
+	rc, size, err := w.fetcher.Fetch(ctx, h.Addr, h.File)
 	if err != nil {
 		rep.Unreachable = appendUnique(rep.Unreachable, h.Addr)
 		return nil, fmt.Errorf("cluster: fetching handoff %s from %s: %w", h.File, h.Addr, err)
@@ -557,7 +567,7 @@ func (w *worker) runFetch(ctx context.Context, wj *workerJob, l TaskLease, rep *
 	}
 	for i, src := range l.Sources {
 		fst := time.Now()
-		rc, size, err := w.pool.Fetch(ctx, src.Addr, src.File)
+		rc, size, err := w.fetcher.Fetch(ctx, src.Addr, src.File)
 		if err != nil {
 			cleanup("")
 			rep.Unreachable = appendUnique(rep.Unreachable, src.Addr)
@@ -576,6 +586,12 @@ func (w *worker) runFetch(ctx context.Context, wj *workerJob, l TaskLease, rep *
 			from = mr.NewIntegrityVerifier(rc)
 		}
 		n, err := io.Copy(f, from)
+		if err == nil {
+			if wire, ok := mr.WireBytes(rc); ok {
+				counters.AddExtra(mr.CounterShuffleRawBytes, n)
+				counters.AddExtra(mr.CounterShuffleWireBytes, wire)
+			}
+		}
 		rc.Close()
 		if cerr := f.Close(); err == nil {
 			err = cerr

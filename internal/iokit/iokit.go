@@ -128,6 +128,29 @@ func (c *CountingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// RawFiler is implemented by opened files that can expose the raw
+// operating-system file underneath. The shuffle data plane uses it to
+// splice segment bytes straight to a socket (sendfile) instead of
+// copying them through user space.
+type RawFiler interface {
+	RawFile() *os.File
+}
+
+// RawFile unwraps r to the underlying *os.File when the implementation
+// exposes one (OSFS opened files do). Metered and tracked wrappers
+// deliberately do not: bytes that bypass user space also bypass the
+// wrapper, so zero-copy callers must meter by post-counting instead.
+func RawFile(r io.Reader) (*os.File, bool) {
+	switch f := r.(type) {
+	case *os.File:
+		return f, true
+	case RawFiler:
+		raw := f.RawFile()
+		return raw, raw != nil
+	}
+	return nil, false
+}
+
 // Metered wraps fs so that every byte moving through Create/Open feeds m.
 func Metered(fs FS, m *Meter) FS { return &meteredFS{fs: fs, m: m} }
 

@@ -134,7 +134,7 @@ func Run(job *Job, splits []Split) (*Result, error) {
 
 	var transport Transport = LocalTransport{}
 	if j.TCPShuffle {
-		tcp, err := newTCPTransport(fs, j.WrapShuffleListener)
+		tcp, err := newTCPTransport(fs, j.WrapShuffleListener, j.WireCompression)
 		if err != nil {
 			return nil, fmt.Errorf("mr: starting shuffle transport: %w", err)
 		}

@@ -83,6 +83,12 @@ type Job struct {
 	// the chaos harness uses to inject data-plane faults (connection
 	// drops, stalls, truncations, bit-flips) into the in-process engine.
 	WrapShuffleListener func(net.Listener) net.Listener
+	// WireCompression, with TCPShuffle, negotiates Snappy compression of
+	// segment bodies on the shuffle connections. Transparent: fetched
+	// bytes (and job output) are identical; only bytes on the wire
+	// shrink, reported by the mr.shuffleWireBytes / mr.shuffleRawBytes
+	// extra counters.
+	WireCompression bool
 	// DisableChecksums turns off the CRC32C segment framing that spill,
 	// merge, and map-output files carry by default (verified on local
 	// merge reads and on shuffle fetches). It exists as the A/B baseline

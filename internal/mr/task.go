@@ -42,6 +42,11 @@ func isTransientErr(err error) bool {
 	if errors.Is(err, iokit.ErrInjected) || errors.Is(err, errShortFetch) {
 		return true
 	}
+	// A truncated transfer — the transport surfaced fewer bytes than the
+	// peer advertised — is a connection-level fault, same as errShortFetch.
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
 	// Integrity violations (checksum mismatch, truncation) mean the
 	// bytes are bad, not the computation: a retry re-fetches or re-reads
 	// and — on the cluster — feeds the source-blacklist/DepLostError
@@ -362,6 +367,9 @@ func fetchSegments(ctx context.Context, fs iokit.FS, transport Transport, job *J
 			src = NewIntegrityVerifier(rc)
 		}
 		n, err := io.CopyBuffer(f, src, copyBuf)
+		if err == nil {
+			countWireBytes(counters, rc, n)
+		}
 		rc.Close()
 		if cerr := f.Close(); err == nil {
 			err = cerr

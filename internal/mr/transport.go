@@ -1,8 +1,10 @@
 package mr
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -10,6 +12,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
+	"repro/internal/codec"
 	"repro/internal/iokit"
 )
 
@@ -48,6 +52,54 @@ func (LocalTransport) Fetch(ctx context.Context, fs iokit.FS, name string) (io.R
 // Close implements Transport.
 func (LocalTransport) Close() error { return nil }
 
+// Wire protocol. The base frame shapes are v1's: the client sends a
+// uvarint-length-prefixed file name, the server answers uvarint(size+1)
+// then the body, or uvarint(0) plus a length-prefixed error string.
+//
+// v2 adds a capability handshake without costing a round trip. Names
+// are never empty, so a first byte of 0x00 can never start a legal v1
+// request; v2 clients use it as a control escape. At connect the client
+// pipelines a hello — 0x00, wireMagic, caps — in the same write as its
+// first request, and reads the server's two-byte ack (wireMagicAck,
+// granted caps) before the first response header. Every later frame
+// beginning 0x00 is a control frame (today: a mux batch open, mux.go).
+// A v2 server that never sees a hello serves the connection as pure v1,
+// which is the compatibility fallback for old clients.
+//
+// Negotiable capabilities:
+//
+//   - capCompress: response bodies may be Snappy-compressed. The
+//     response header gains one encoding byte after the size, and a
+//     compressed body is a sequence of uvarint(len)-prefixed Snappy
+//     blocks that decode to exactly the advertised raw size.
+//   - capMux: the client may multiplex many segment requests onto the
+//     connection as one batch with per-stream flow control (mux.go).
+const (
+	wireHello    = 0x00
+	wireMagic    = 0xA5
+	wireMagicAck = 0x5A
+
+	capCompress = 0x01
+	capMux      = 0x02
+	serverCaps  = capCompress | capMux
+
+	encodingRaw    = 0x00
+	encodingSnappy = 0x01
+
+	// wireCompressMin is the smallest body worth compressing; below it
+	// the encoding byte says raw and the body is verbatim.
+	wireCompressMin = 512
+
+	// wireChunk is the body chunk size: the unit of compression, of mux
+	// DATA frames, and of the coalesced header+first-bytes write.
+	wireChunk = copyBufSize
+
+	// maxWireUnit bounds one compressed unit: a wireChunk of
+	// incompressible bytes grows only by the block preamble and literal
+	// headers, so anything larger is a corrupt or hostile length.
+	maxWireUnit = wireChunk + 64
+)
+
 // Wire protocol frame limits. Request frames carry file names; error
 // frames carry error strings. Anything larger is rejected before
 // allocation so a corrupt or hostile peer cannot force large buffers.
@@ -56,13 +108,10 @@ const (
 	maxErrFrame  = 64 << 10
 )
 
-// SegmentServer serves segment files from an FS over TCP, speaking a
-// persistent length-prefixed protocol: the client sends a
-// uvarint-length-prefixed file name; the server replies with a uvarint
-// byte count (size+1, so 0 signals an error) followed by the file
-// contents, or a zero count and a length-prefixed error string. The
-// connection then returns to a clean frame boundary and the client may
-// issue the next request on it, which is what makes connection pooling
+// SegmentServer serves segment files from an FS over TCP, speaking the
+// persistent length-prefixed protocol above. After a response the
+// connection returns to a clean frame boundary and the client may issue
+// the next request on it, which is what makes connection pooling
 // possible. It is the addressable generalization of the loopback-only
 // shuffle server: cluster workers bind it on a routable address and
 // peer workers fetch from it directly.
@@ -71,7 +120,8 @@ type SegmentServer struct {
 	meter *iokit.Meter // optional: meters serve-side disk reads
 	ln    net.Listener
 
-	served atomic.Int64
+	served     atomic.Int64
+	servedWire atomic.Int64
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -103,8 +153,29 @@ func NewSegmentServerOn(fs iokit.FS, ln net.Listener, meter *iokit.Meter) *Segme
 // Addr reports the listener address, in a form peers can dial.
 func (s *SegmentServer) Addr() string { return s.ln.Addr().String() }
 
-// ServedBytes reports the total payload bytes written to clients.
+// ServedBytes reports the total raw payload bytes served to clients.
 func (s *SegmentServer) ServedBytes() int64 { return s.served.Load() }
+
+// ServedWireBytes reports the body bytes actually written to sockets;
+// on compression-negotiated connections this is the post-Snappy count,
+// so ServedBytes-ServedWireBytes is the shuffle traffic saved.
+func (s *SegmentServer) ServedWireBytes() int64 { return s.servedWire.Load() }
+
+// count post-counts one served body: raw payload bytes and the bytes
+// that hit the wire for them. Post-counting (instead of a metering
+// reader wrapped around the file) is what keeps the raw *os.File
+// visible to io.Copy for the sendfile fast path.
+func (s *SegmentServer) count(raw, wire int64) {
+	if raw > 0 {
+		s.served.Add(raw)
+		if s.meter != nil {
+			s.meter.AddRead(raw)
+		}
+	}
+	if wire > 0 {
+		s.servedWire.Add(wire)
+	}
+}
 
 func (s *SegmentServer) serve() {
 	defer s.wg.Done()
@@ -136,16 +207,54 @@ func (s *SegmentServer) serve() {
 }
 
 // handleConn serves requests on one persistent connection until the
-// client closes it or a frame is malformed.
+// client closes it or a frame is malformed. The bufio reader lives for
+// the connection, so uvarint parsing costs no extra syscalls and any
+// bytes it reads ahead stay on this connection's frame stream.
 func (s *SegmentServer) handleConn(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 32<<10)
+	var caps byte
 	for {
-		nameBuf, err := readLenPrefixed(conn, maxNameFrame)
+		b0, err := br.ReadByte()
 		if err != nil {
-			return // client done (EOF) or bad frame
+			return // client done (EOF) or dead
+		}
+		if b0 == wireHello {
+			ctrl, err := br.ReadByte()
+			if err != nil {
+				return
+			}
+			switch ctrl {
+			case wireMagic:
+				want, err := br.ReadByte()
+				if err != nil {
+					return
+				}
+				caps = want & serverCaps
+				if _, err := conn.Write([]byte{wireMagicAck, caps}); err != nil {
+					return
+				}
+			case ctrlBatch:
+				if caps&capMux == 0 {
+					return // batch frame without negotiating mux
+				}
+				if !s.handleBatch(conn, br, caps) {
+					return
+				}
+			default:
+				return // unknown control frame
+			}
+			continue
+		}
+		if err := br.UnreadByte(); err != nil {
+			return
+		}
+		nameBuf, err := readLenPrefixed(br, maxNameFrame)
+		if err != nil {
+			return
 		}
 		name := string(nameBuf)
 		putFrameBuf(nameBuf)
-		if !s.handleOne(conn, name) {
+		if !s.handleOne(conn, name, caps) {
 			return
 		}
 	}
@@ -153,7 +262,7 @@ func (s *SegmentServer) handleConn(conn net.Conn) {
 
 // handleOne answers a single request; it reports whether the connection
 // is still at a clean frame boundary and may serve another.
-func (s *SegmentServer) handleOne(conn net.Conn, name string) bool {
+func (s *SegmentServer) handleOne(conn net.Conn, name string, caps byte) bool {
 	size, err := s.fs.Size(name)
 	if err != nil {
 		return writeError(conn, err)
@@ -163,17 +272,101 @@ func (s *SegmentServer) handleOne(conn net.Conn, name string) bool {
 		return writeError(conn, err)
 	}
 	defer f.Close()
-	var r io.Reader = f
-	if s.meter != nil {
-		r = &iokit.CountingReader{R: f, M: s.meter}
+	if caps&capCompress != 0 && size >= wireCompressMin {
+		return s.sendCompressed(conn, f, size)
 	}
-	hdr := binary.AppendUvarint(nil, uint64(size)+1) // size+1: 0 means error
-	if _, err := conn.Write(hdr); err != nil {
+	return s.sendRaw(conn, f, size, caps)
+}
+
+// sendRaw streams a body verbatim. The response header and the first
+// body chunk are coalesced into one write, so small segments cost a
+// single send instead of a header packet plus a body packet; the rest
+// of an OS-backed file is spliced with sendfile.
+func (s *SegmentServer) sendRaw(conn net.Conn, f io.ReadCloser, size int64, caps byte) bool {
+	buf := getCopyBuf(nil)
+	defer putCopyBuf(nil, buf)
+	hdr := binary.AppendUvarint(buf[:0], uint64(size)+1) // size+1: 0 means error
+	if caps&capCompress != 0 {
+		hdr = append(hdr, encodingRaw)
+	}
+	first := int64(len(buf) - len(hdr))
+	if first > size {
+		first = size
+	}
+	n, err := io.ReadFull(f, buf[len(hdr):int64(len(hdr))+first])
+	if err != nil {
+		// Nothing is on the wire yet. A shrank file is a stable fact the
+		// client should hear about; any other read fault drops the
+		// connection so the client's retry path sees a transient
+		// transport failure, exactly as a mid-body fault would.
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return writeError(conn, err)
+		}
 		return false
 	}
-	n, err := io.CopyN(conn, r, size)
-	s.served.Add(n)
-	return err == nil
+	if _, err := conn.Write(buf[:len(hdr)+n]); err != nil {
+		return false
+	}
+	sent := int64(n)
+	ok := true
+	if remaining := size - sent; remaining > 0 {
+		var m int64
+		if osf, raw := iokit.RawFile(f); raw {
+			// Zero-copy: a LimitedReader directly over the *os.File lets
+			// io.Copy reach TCPConn.ReadFrom, which splices the file to
+			// the socket (sendfile) without passing through user space.
+			m, err = io.Copy(conn, &io.LimitedReader{R: osf, N: remaining})
+		} else {
+			m, err = io.CopyBuffer(conn, io.LimitReader(f, remaining), buf)
+		}
+		sent += m
+		ok = err == nil && m == remaining
+	}
+	s.count(sent, sent)
+	return ok
+}
+
+// sendCompressed streams a body as uvarint(len)-prefixed Snappy blocks.
+// Each block carries its own raw length, so the client needs no
+// terminator: it reads blocks until their raw sizes sum to the
+// advertised body size, leaving the connection at a frame boundary.
+func (s *SegmentServer) sendCompressed(conn net.Conn, f io.ReadCloser, size int64) bool {
+	chunk := getCopyBuf(nil)
+	defer putCopyBuf(nil, chunk)
+	var out, block []byte
+	var raw, wire int64
+	hdrDone := false
+	for raw < size {
+		n := size - raw
+		if n > int64(len(chunk)) {
+			n = int64(len(chunk))
+		}
+		if _, err := io.ReadFull(f, chunk[:n]); err != nil {
+			if !hdrDone && (errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) {
+				return writeError(conn, err) // file shrank: stable, reportable
+			}
+			s.count(raw, wire)
+			return false
+		}
+		block = codec.AppendSnappyBlock(block[:0], chunk[:n])
+		out = out[:0]
+		if !hdrDone {
+			out = binary.AppendUvarint(out, uint64(size)+1)
+			out = append(out, encodingSnappy)
+			hdrDone = true
+		}
+		unitStart := len(out)
+		out = binary.AppendUvarint(out, uint64(len(block)))
+		out = append(out, block...)
+		if _, err := conn.Write(out); err != nil {
+			s.count(raw, wire)
+			return false
+		}
+		raw += n
+		wire += int64(len(out) - unitStart)
+	}
+	s.count(raw, wire)
+	return true
 }
 
 // Close stops the listener, severs live connections — remote clients
@@ -207,12 +400,20 @@ func writeError(conn net.Conn, err error) bool {
 	return werr == nil
 }
 
+// frameReader is what frame parsing needs: a reader that also yields
+// single bytes without over-reading. bufio.Reader and bytes.Reader both
+// qualify; a bare net.Conn does not, which statically keeps frame
+// parsing off the one-syscall-per-byte path.
+type frameReader interface {
+	io.Reader
+	io.ByteReader
+}
+
 // readLenPrefixed reads one uvarint-length-prefixed frame, rejecting
 // frames larger than max before allocating, so truncated or hostile
 // length prefixes cannot force oversized buffers.
-func readLenPrefixed(r io.Reader, max uint64) ([]byte, error) {
-	br := &byteReader{r: r}
-	n, err := binary.ReadUvarint(br)
+func readLenPrefixed(r frameReader, max uint64) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, err
 	}
@@ -239,14 +440,28 @@ func (b *byteReader) ReadByte() (byte, error) {
 	return b.one[0], nil
 }
 
+// uvarintLen reports how many bytes binary.AppendUvarint emits for v —
+// used to post-count wire framing without materializing it twice.
+func uvarintLen(v uint64) int64 {
+	n := int64(1)
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
 // Fetch retry policy: connection-level failures (dial errors, a peer
 // dropping the connection before the response header arrives) are
-// retried a bounded number of times with exponential backoff, like
-// Hadoop's fetch retries. Server-reported errors (e.g. a missing
-// segment) are authoritative and fail immediately.
+// retried a bounded number of times with jittered exponential backoff —
+// the policy shared with the cluster RPC client — so workers that lost
+// the same peer do not hammer it back in lockstep. Server-reported
+// errors (e.g. a missing segment) are authoritative and fail
+// immediately.
 const (
-	fetchAttempts     = 3
-	fetchRetryBackoff = 2 * time.Millisecond
+	fetchAttempts       = 3
+	fetchRetryBackoff   = 2 * time.Millisecond
+	fetchBackoffCeiling = 250 * time.Millisecond
 )
 
 // ConnPool is a keyed client-connection pool for the segment protocol:
@@ -254,7 +469,10 @@ const (
 // whose body is fully consumed returns its connection for reuse, and
 // idle connections past IdleTimeout are discarded on next use. Pooling
 // matters on multi-reduce jobs: without it every (partition, map task)
-// segment fetch pays a fresh TCP dial to the same few servers.
+// segment fetch pays a fresh TCP dial to the same few servers — and
+// with protocol v2 a pooled connection also keeps its negotiated
+// capabilities, so the handshake is paid once per connection, not per
+// fetch.
 type ConnPool struct {
 	// IdleTimeout discards pooled connections idle longer than this.
 	// Defaults to 30s.
@@ -262,6 +480,10 @@ type ConnPool struct {
 	// MaxIdlePerHost caps pooled connections per server address.
 	// Defaults to 8.
 	MaxIdlePerHost int
+	// WireCompression requests Snappy-compressed bodies during the
+	// connection handshake. Transparent to callers: fetch readers always
+	// yield raw bytes; only the bytes on the wire change.
+	WireCompression bool
 
 	dials atomic.Int64
 
@@ -270,8 +492,18 @@ type ConnPool struct {
 	closed bool
 }
 
+// wireConn is a pooled client connection plus its negotiated state: the
+// connection-lifetime buffered reader every response is parsed through,
+// and the capability set agreed at handshake.
+type wireConn struct {
+	conn       net.Conn
+	br         *bufio.Reader
+	caps       byte
+	handshaken bool
+}
+
 type pooledConn struct {
-	conn   net.Conn
+	wc     *wireConn
 	parked time.Time
 }
 
@@ -299,9 +531,18 @@ func (p *ConnPool) maxIdle() int {
 	return 8
 }
 
+// clientCaps is what this pool asks for in a hello frame.
+func (p *ConnPool) clientCaps() byte {
+	caps := byte(capMux)
+	if p.WireCompression {
+		caps |= capCompress
+	}
+	return caps
+}
+
 // get returns a pooled connection to addr, or dials a fresh one. fresh
 // forces a dial (used after a pooled connection turned out stale).
-func (p *ConnPool) get(ctx context.Context, addr string, fresh bool) (net.Conn, error) {
+func (p *ConnPool) get(ctx context.Context, addr string, fresh bool) (*wireConn, error) {
 	if !fresh {
 		cutoff := time.Now().Add(-p.idleTimeout())
 		p.mu.Lock()
@@ -311,29 +552,39 @@ func (p *ConnPool) get(ctx context.Context, addr string, fresh bool) (net.Conn, 
 			conns = conns[:len(conns)-1]
 			p.idle[addr] = conns
 			if pc.parked.Before(cutoff) {
-				pc.conn.Close()
+				pc.wc.conn.Close()
 				continue
 			}
 			p.mu.Unlock()
-			return pc.conn, nil
+			return pc.wc, nil
 		}
 		p.mu.Unlock()
 	}
 	p.dials.Add(1)
 	var d net.Dialer
-	return d.DialContext(ctx, "tcp", addr)
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &wireConn{conn: conn, br: bufio.NewReaderSize(conn, 32<<10)}, nil
 }
 
 // put parks a connection for reuse; the caller asserts it sits at a
-// clean frame boundary.
-func (p *ConnPool) put(addr string, conn net.Conn) {
+// clean frame boundary (nothing read ahead, nothing owed).
+func (p *ConnPool) put(addr string, wc *wireConn) {
+	if wc.br.Buffered() != 0 {
+		// Read-ahead past a frame boundary means the connection state is
+		// not what the next fetch expects; never pool it.
+		wc.conn.Close()
+		return
+	}
 	p.mu.Lock()
 	if p.closed || len(p.idle[addr]) >= p.maxIdle() {
 		p.mu.Unlock()
-		conn.Close()
+		wc.conn.Close()
 		return
 	}
-	p.idle[addr] = append(p.idle[addr], pooledConn{conn: conn, parked: time.Now()})
+	p.idle[addr] = append(p.idle[addr], pooledConn{wc: wc, parked: time.Now()})
 	p.mu.Unlock()
 }
 
@@ -345,7 +596,7 @@ func (p *ConnPool) Close() error {
 	p.closed = true
 	for addr, conns := range p.idle {
 		for _, pc := range conns {
-			pc.conn.Close()
+			pc.wc.conn.Close()
 		}
 		delete(p.idle, addr)
 	}
@@ -362,7 +613,7 @@ func (p *ConnPool) Fetch(ctx context.Context, addr, name string) (io.ReadCloser,
 	for attempt := 0; attempt < fetchAttempts; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(fetchRetryBackoff << (attempt - 1)):
+			case <-time.After(backoff.Exp(fetchRetryBackoff, attempt, fetchBackoffCeiling)):
 			case <-ctx.Done():
 				return nil, 0, ctx.Err()
 			}
@@ -386,14 +637,30 @@ func (p *ConnPool) Fetch(ctx context.Context, addr, name string) (io.ReadCloser,
 		name, addr, fetchAttempts, lastErr)
 }
 
-// fetchOnce performs a single fetch handshake. retryable reports
-// whether the failure happened at the connection level (before a valid
-// response header), where a retry may see a healthy connection.
+// readAck consumes the server's two-byte handshake ack and records the
+// granted capabilities on the connection.
+func (wc *wireConn) readAck(want byte) error {
+	var ack [2]byte
+	if _, err := io.ReadFull(wc.br, ack[:]); err != nil {
+		return err
+	}
+	if ack[0] != wireMagicAck {
+		return fmt.Errorf("mr: bad handshake ack 0x%02x", ack[0])
+	}
+	wc.caps = ack[1] & want
+	wc.handshaken = true
+	return nil
+}
+
+// fetchOnce performs a single fetch exchange. retryable reports whether
+// the failure happened at the connection level (before a valid response
+// header), where a retry may see a healthy connection.
 func (p *ConnPool) fetchOnce(ctx context.Context, addr, name string, fresh bool) (rc io.ReadCloser, size int64, err error, retryable bool) {
-	conn, err := p.get(ctx, addr, fresh)
+	wc, err := p.get(ctx, addr, fresh)
 	if err != nil {
 		return nil, 0, err, true
 	}
+	conn := wc.conn
 	// While this request is in flight, ctx cancellation closes the
 	// connection so blocked reads and writes abort promptly.
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
@@ -405,31 +672,125 @@ func (p *ConnPool) fetchOnce(ctx context.Context, addr, name string, fresh bool)
 		}
 		return nil, 0, err, retryable
 	}
-	req := binary.AppendUvarint(nil, uint64(len(name)))
+	// A fresh connection pipelines the hello with the request in one
+	// write; the handshake costs no extra round trip.
+	var req []byte
+	want := p.clientCaps()
+	if !wc.handshaken {
+		req = append(req, wireHello, wireMagic, want)
+	}
+	req = binary.AppendUvarint(req, uint64(len(name)))
 	req = append(req, name...)
 	if _, err := conn.Write(req); err != nil {
 		return fail(err, true)
 	}
-	br := &byteReader{r: conn}
-	sizePlus, err := binary.ReadUvarint(br)
+	if !wc.handshaken {
+		if err := wc.readAck(want); err != nil {
+			return fail(err, true)
+		}
+	}
+	sizePlus, err := binary.ReadUvarint(wc.br)
 	if err != nil {
 		return fail(err, true)
 	}
 	if sizePlus == 0 {
-		msg, err := readLenPrefixed(conn, maxErrFrame)
+		msg, err := readLenPrefixed(wc.br, maxErrFrame)
 		if err != nil {
 			return fail(fmt.Errorf("mr: shuffle fetch failed: %w", err), true)
 		}
 		// Server-reported errors are authoritative; the connection is at
 		// a frame boundary, so it can be reused.
 		stop()
-		p.put(addr, conn)
+		p.put(addr, wc)
 		ferr := fmt.Errorf("mr: shuffle fetch %s from %s: %s", name, addr, msg)
 		putFrameBuf(msg)
 		return nil, 0, ferr, false
 	}
 	size = int64(sizePlus - 1)
-	return &fetchReader{pool: p, addr: addr, conn: conn, ctx: ctx, stop: stop, remaining: size}, size, nil, false
+	fr := &fetchReader{pool: p, addr: addr, wc: wc, ctx: ctx, stop: stop, size: size, remaining: size}
+	if wc.caps&capCompress != 0 {
+		enc, err := wc.br.ReadByte()
+		if err != nil {
+			return fail(err, true)
+		}
+		switch enc {
+		case encodingRaw:
+		case encodingSnappy:
+			fr.dec = &snappyUnitReader{br: wc.br, remaining: size}
+		default:
+			return fail(fmt.Errorf("mr: unknown body encoding 0x%02x", enc), true)
+		}
+	}
+	return fr, size, nil, false
+}
+
+// snappyUnitReader decodes a compressed body: uvarint(len)-prefixed
+// Snappy blocks whose raw sizes sum to exactly remaining. It consumes
+// nothing past the final block, so the connection lands on a clean
+// frame boundary.
+type snappyUnitReader struct {
+	br        *bufio.Reader
+	remaining int64 // raw bytes the stream still owes
+	wire      int64 // framed bytes consumed off the socket
+	block     []byte
+	pos       int
+	err       error
+}
+
+func (d *snappyUnitReader) Read(p []byte) (int, error) {
+	for d.pos >= len(d.block) {
+		if d.err != nil {
+			return 0, d.err
+		}
+		if d.remaining <= 0 {
+			d.err = io.EOF
+			return 0, io.EOF
+		}
+		if err := d.fill(); err != nil {
+			d.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, d.block[d.pos:])
+	d.pos += n
+	return n, nil
+}
+
+func (d *snappyUnitReader) fill() error {
+	compLen, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return unexpectedEOF(err)
+	}
+	if compLen == 0 || compLen > maxWireUnit {
+		return fmt.Errorf("mr: compressed wire unit of %d bytes exceeds limit %d", compLen, maxWireUnit)
+	}
+	buf := getFrameBuf(int(compLen))
+	if _, err := io.ReadFull(d.br, buf); err != nil {
+		putFrameBuf(buf)
+		return unexpectedEOF(err)
+	}
+	block, err := codec.DecompressSnappyBlock(buf)
+	putFrameBuf(buf)
+	if err != nil {
+		return fmt.Errorf("mr: wire decompression: %w", err)
+	}
+	if len(block) == 0 || int64(len(block)) > d.remaining {
+		return fmt.Errorf("mr: wire unit decoded to %d raw bytes with %d expected", len(block), d.remaining)
+	}
+	d.wire += uvarintLen(compLen) + int64(compLen)
+	d.remaining -= int64(len(block))
+	d.block, d.pos = block, 0
+	return nil
+}
+
+// unexpectedEOF maps a clean EOF mid-structure to ErrUnexpectedEOF:
+// for a reader that still owes bytes, a peer hanging up early is a
+// truncation, never a clean end.
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 // fetchReader streams one fetch body. Closing it after the body is
@@ -438,10 +799,12 @@ func (p *ConnPool) fetchOnce(ctx context.Context, addr, name string, fresh bool)
 type fetchReader struct {
 	pool      *ConnPool
 	addr      string
-	conn      net.Conn
+	wc        *wireConn
 	ctx       context.Context
 	stop      func() bool
+	size      int64
 	remaining int64
+	dec       *snappyUnitReader // nil for raw bodies
 	closed    bool
 }
 
@@ -452,16 +815,38 @@ func (f *fetchReader) Read(p []byte) (int, error) {
 	if int64(len(p)) > f.remaining {
 		p = p[:f.remaining]
 	}
-	n, err := f.conn.Read(p)
+	var n int
+	var err error
+	if f.dec != nil {
+		n, err = f.dec.Read(p)
+	} else {
+		n, err = f.wc.br.Read(p)
+	}
 	f.remaining -= int64(n)
 	if err != nil {
 		// Surface cancellation as the cause when it closed the conn.
 		if cerr := f.ctx.Err(); cerr != nil {
 			return n, cerr
 		}
+		if f.remaining > 0 {
+			// The peer ended the stream while still owing bytes: that is
+			// a truncation and must fail loudly (io.Copy treats a bare
+			// io.EOF as a clean end).
+			return n, unexpectedEOF(err)
+		}
 		return n, err
 	}
 	return n, nil
+}
+
+// WireBytes reports the socket bytes consumed for the body so far: the
+// raw count for uncompressed fetches, the framed compressed count
+// otherwise. Meaningful once the body is fully read.
+func (f *fetchReader) WireBytes() int64 {
+	if f.dec != nil {
+		return f.dec.wire
+	}
+	return f.size - f.remaining
 }
 
 func (f *fetchReader) Close() error {
@@ -471,28 +856,62 @@ func (f *fetchReader) Close() error {
 	f.closed = true
 	f.stop()
 	if f.remaining == 0 && f.ctx.Err() == nil {
-		f.pool.put(f.addr, f.conn)
+		f.pool.put(f.addr, f.wc)
 		return nil
 	}
-	return f.conn.Close()
+	return f.wc.conn.Close()
+}
+
+// WireBytes reports the bytes a fetched body occupied on the network,
+// when rc came from a wire transport that tracks them (pooled and
+// multiplexed fetch readers do). Callers feed this into the shuffle
+// wire counters next to the raw size.
+func WireBytes(rc io.ReadCloser) (int64, bool) {
+	if w, ok := rc.(interface{ WireBytes() int64 }); ok {
+		return w.WireBytes(), true
+	}
+	return 0, false
+}
+
+// Extra counters for the shuffle wire: raw body bytes fetched versus
+// bytes those bodies occupied on the wire. With compression negotiated
+// the wire count drops below raw; without it they match.
+const (
+	CounterShuffleRawBytes  = "mr.shuffleRawBytes"
+	CounterShuffleWireBytes = "mr.shuffleWireBytes"
+)
+
+// countWireBytes records the raw-vs-wire pair for one fully consumed
+// fetch body.
+func countWireBytes(counters *Counters, rc io.ReadCloser, raw int64) {
+	if counters == nil {
+		return
+	}
+	if wire, ok := WireBytes(rc); ok {
+		counters.AddExtra(CounterShuffleRawBytes, raw)
+		counters.AddExtra(CounterShuffleWireBytes, wire)
+	}
 }
 
 // TCPTransport is the single-process shuffle-over-sockets transport: a
-// SegmentServer on loopback plus a pooled client fetching from it.
+// SegmentServer on loopback plus a pooled, multiplexing client fetching
+// from it.
 type TCPTransport struct {
 	srv  *SegmentServer
 	pool *ConnPool
+	mux  *MuxFetcher
 }
 
 // NewTCPTransport starts a loopback listener serving fs.
 func NewTCPTransport(fs iokit.FS) (*TCPTransport, error) {
-	return newTCPTransport(fs, nil)
+	return newTCPTransport(fs, nil, false)
 }
 
 // newTCPTransport starts the loopback transport, optionally wrapping
 // the listener (Job.WrapShuffleListener — the chaos harness's
-// data-plane injection point).
-func newTCPTransport(fs iokit.FS, wrap func(net.Listener) net.Listener) (*TCPTransport, error) {
+// data-plane injection point) and negotiating wire compression
+// (Job.WireCompression).
+func newTCPTransport(fs iokit.FS, wrap func(net.Listener) net.Listener, compress bool) (*TCPTransport, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -500,7 +919,9 @@ func newTCPTransport(fs iokit.FS, wrap func(net.Listener) net.Listener) (*TCPTra
 	if wrap != nil {
 		ln = wrap(ln)
 	}
-	return &TCPTransport{srv: NewSegmentServerOn(fs, ln, nil), pool: NewConnPool()}, nil
+	pool := NewConnPool()
+	pool.WireCompression = compress
+	return &TCPTransport{srv: NewSegmentServerOn(fs, ln, nil), pool: pool, mux: NewMuxFetcher(pool)}, nil
 }
 
 // Addr reports the listener address (tests and diagnostics).
@@ -510,9 +931,10 @@ func (t *TCPTransport) Addr() string { return t.srv.Addr() }
 func (t *TCPTransport) Dials() int64 { return t.pool.Dials() }
 
 // Fetch implements Transport: it requests the segment from the loopback
-// server over a pooled socket.
+// server over a pooled socket, riding a multiplexed batch when other
+// fetches to the server are in flight.
 func (t *TCPTransport) Fetch(ctx context.Context, _ iokit.FS, name string) (io.ReadCloser, int64, error) {
-	return t.pool.Fetch(ctx, t.srv.Addr(), name)
+	return t.mux.Fetch(ctx, t.srv.Addr(), name)
 }
 
 // Close implements Transport: discards pooled connections, stops the

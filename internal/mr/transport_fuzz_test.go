@@ -1,12 +1,18 @@
 package mr
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"errors"
 	"io"
+	"net"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/iokit"
 )
 
 // FuzzReadLenPrefixed throws arbitrary byte streams at the wire
@@ -81,12 +87,12 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		eframe := binary.AppendUvarint(nil, 0)
 		eframe = binary.AppendUvarint(eframe, uint64(len(msg)))
 		eframe = append(eframe, msg...)
-		br := &byteReader{r: bytes.NewReader(eframe)}
-		marker, err := binary.ReadUvarint(br)
+		er := bytes.NewReader(eframe)
+		marker, err := binary.ReadUvarint(er)
 		if err != nil || marker != 0 {
 			t.Fatalf("error marker: %d, %v", marker, err)
 		}
-		gotMsg, err := readLenPrefixed(br.r, maxErrFrame)
+		gotMsg, err := readLenPrefixed(er, maxErrFrame)
 		if err != nil {
 			t.Fatalf("error frame: %v", err)
 		}
@@ -120,6 +126,102 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			if _, err := readLenPrefixed(bytes.NewReader(trunc), uint64(len(payload))); !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
 				t.Fatalf("truncated frame: err = %v, want unexpected EOF", err)
 			}
+		}
+	})
+}
+
+// fuzzConn presents a byte slice as the read side of a net.Conn and
+// swallows writes, so server connection handlers can be driven with
+// hostile input without a socket.
+type fuzzConn struct{ r io.Reader }
+
+func (c *fuzzConn) Read(p []byte) (int, error)  { return c.r.Read(p) }
+func (c *fuzzConn) Write(p []byte) (int, error) { return len(p), nil }
+func (c *fuzzConn) Close() error                { return nil }
+func (c *fuzzConn) LocalAddr() net.Addr         { return fuzzAddr{} }
+func (c *fuzzConn) RemoteAddr() net.Addr        { return fuzzAddr{} }
+func (c *fuzzConn) SetDeadline(time.Time) error { return nil }
+func (c *fuzzConn) SetReadDeadline(t time.Time) error {
+	return nil
+}
+func (c *fuzzConn) SetWriteDeadline(t time.Time) error {
+	return nil
+}
+
+type fuzzAddr struct{}
+
+func (fuzzAddr) Network() string { return "fuzz" }
+func (fuzzAddr) String() string  { return "fuzz" }
+
+// FuzzServerConn feeds arbitrary byte streams — hostile hellos, mangled
+// capability negotiation, malformed batch-open and grant frames —
+// straight into the server's per-connection loop. The server must
+// always return (EOF terminates every read path) and never panic, no
+// matter how the negotiation or multiplex framing is corrupted.
+func FuzzServerConn(f *testing.F) {
+	// A clean v1 request, no hello.
+	req := binary.AppendUvarint(nil, 3)
+	req = append(req, "seg"...)
+	f.Add(req)
+	// Hello negotiating everything, then the same request.
+	f.Add(append([]byte{wireHello, wireMagic, serverCaps}, req...))
+	// Hello, then a batch of two streams with a legal window and a
+	// couple of grants plus the final ack.
+	batch := []byte{wireHello, wireMagic, serverCaps, wireHello, ctrlBatch}
+	batch = binary.AppendUvarint(batch, 2)
+	batch = binary.AppendUvarint(batch, wireChunk)
+	for _, name := range []string{"seg", "z"} {
+		batch = binary.AppendUvarint(batch, uint64(len(name)))
+		batch = append(batch, name...)
+	}
+	batch = binary.AppendUvarint(batch, 0) // grant: stream 0
+	batch = binary.AppendUvarint(batch, wireChunk)
+	batch = binary.AppendUvarint(batch, 2) // final ack: idx == count
+	batch = binary.AppendUvarint(batch, 0)
+	f.Add(batch)
+	// Batch frame without negotiating mux first; undersized window;
+	// unknown control byte.
+	f.Add([]byte{wireHello, ctrlBatch, 2, 1})
+	f.Add([]byte{wireHello, wireMagic, serverCaps, wireHello, ctrlBatch, 1, 1})
+	f.Add([]byte{wireHello, 0xEE})
+
+	fs := iokit.NewMemFS()
+	w, _ := fs.Create("seg")
+	w.Write(bytes.Repeat([]byte("fuzz segment payload "), 200))
+	w.Close()
+	w, _ = fs.Create("z")
+	w.Close()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := &SegmentServer{fs: fs}
+		s.handleConn(&fuzzConn{r: bytes.NewReader(data)})
+	})
+}
+
+// FuzzSnappyUnitReader decodes arbitrary bytes as a compressed body
+// stream. However corrupt the unit framing or block contents, the
+// reader must error out (or finish) without panicking and without
+// yielding more raw bytes than the advertised body size.
+func FuzzSnappyUnitReader(f *testing.F) {
+	valid := binary.AppendUvarint(nil, 0)
+	block := codec.AppendSnappyBlock(nil, bytes.Repeat([]byte("unit "), 100))
+	valid = binary.AppendUvarint(valid[:0], uint64(len(block)))
+	valid = append(valid, block...)
+	f.Add(valid, uint32(500))
+	f.Add(valid, uint32(10)) // stream owes fewer bytes than one unit holds
+	f.Add([]byte{0x00}, uint32(1))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}, uint32(64))
+	f.Add([]byte(nil), uint32(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, size uint32) {
+		remaining := int64(size % (1 << 20))
+		d := &snappyUnitReader{br: bufio.NewReaderSize(bytes.NewReader(data), 64), remaining: remaining}
+		n, err := io.Copy(io.Discard, d)
+		if n > remaining {
+			t.Fatalf("decoded %d raw bytes past the advertised %d", n, remaining)
+		}
+		if err == nil && n != remaining {
+			t.Fatalf("clean EOF after %d of %d raw bytes", n, remaining)
 		}
 	})
 }
